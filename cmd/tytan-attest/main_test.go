@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+)
+
+func TestDemoProtocol(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttestProvidedImage(t *testing.T) {
+	im, err := asm.Assemble(demoTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "task.telf")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttestErrors(t *testing.T) {
+	if err := run([]string{"/nonexistent.telf"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "junk.telf")
+	os.WriteFile(path, []byte("junk"), 0o644)
+	if err := run([]string{path}); err == nil {
+		t.Error("junk image accepted")
+	}
+}
+
+func TestDeviceVerifierOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	go runDevice(addr, "oem", nil)
+
+	// Retry until the device side is listening.
+	var verr error
+	for i := 0; i < 100; i++ {
+		verr = runVerifier(addr, "oem", nil)
+		if verr == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("verifier never succeeded: %v", verr)
+}

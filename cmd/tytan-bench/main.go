@@ -1,0 +1,86 @@
+// Command tytan-bench regenerates the paper's evaluation: every table
+// of §6 (Tables 1–8 plus the secure-IPC paragraph) and the ablation
+// studies listed in DESIGN.md, printed with paper-vs-measured rows.
+//
+// Usage:
+//
+//	tytan-bench            # all paper tables
+//	tytan-bench -ablations # the ablation studies as well
+//	tytan-bench -only 4    # just Table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchlab"
+)
+
+func main() {
+	ablations := flag.Bool("ablations", false, "also run the ablation studies")
+	only := flag.Int("only", 0, "run only the given table number (1-8)")
+	md := flag.Bool("md", false, "emit GitHub-flavoured markdown instead of aligned text")
+	flag.Parse()
+	render := benchlab.Table.String
+	if *md {
+		render = benchlab.Table.Markdown
+	}
+
+	if *only != 0 {
+		if err := runOne(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "tytan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tables, err := benchlab.AllTables()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-bench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(render(t))
+	}
+	if *ablations {
+		abl, err := benchlab.AllAblations()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tytan-bench:", err)
+			os.Exit(1)
+		}
+		for _, t := range abl {
+			fmt.Println(render(t))
+		}
+	}
+}
+
+func runOne(n int) error {
+	var t benchlab.Table
+	var err error
+	switch n {
+	case 1:
+		t, err = benchlab.Table1UseCase()
+	case 2:
+		t, err = benchlab.Table2ContextSave()
+	case 3:
+		t, err = benchlab.Table3ContextRestore()
+	case 4:
+		t, err = benchlab.Table4TaskCreation()
+	case 5:
+		t, err = benchlab.Table5Relocation()
+	case 6:
+		t, err = benchlab.Table6EAMPUConfig()
+	case 7:
+		t, err = benchlab.Table7Measurement()
+	case 8:
+		t = benchlab.Table8Memory()
+	default:
+		return fmt.Errorf("no table %d (valid: 1-8)", n)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	return nil
+}

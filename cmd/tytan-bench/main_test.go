@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunOneCheapTables(t *testing.T) {
+	// Table 8 is static; tables 5 and 6 run in microseconds. The full
+	// sweep is exercised by the root benchmarks.
+	for _, n := range []int{5, 6, 8} {
+		if err := runOne(n); err != nil {
+			t.Errorf("table %d: %v", n, err)
+		}
+	}
+}
+
+func TestRunOneRejectsUnknown(t *testing.T) {
+	if err := runOne(9); err == nil {
+		t.Error("table 9 accepted")
+	}
+	if err := runOne(0); err == nil {
+		t.Error("table 0 accepted")
+	}
+}

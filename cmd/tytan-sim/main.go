@@ -1,0 +1,111 @@
+// Command tytan-sim boots the simulated TyTAN platform, loads task
+// images onto it, runs the scheduler for a while, and reports what
+// happened: UART output, task states, and the attestation registry.
+//
+// Usage:
+//
+//	tytan-sim -describe                  # print the platform map (Figure 1)
+//	tytan-sim task1.telf task2.telf      # load and run TELF images
+//	tytan-sim -ms 50 -normal task.telf   # run 50 ms, load as normal task
+//	tytan-sim -baseline task.telf        # unmodified-FreeRTOS baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/telf"
+)
+
+func main() {
+	describe := flag.Bool("describe", false, "print the booted platform's component map and exit")
+	ms := flag.Float64("ms", 100, "simulated milliseconds to run")
+	itrace := flag.Int("itrace", 0, "print the first N executed instructions (disassembled)")
+	normal := flag.Bool("normal", false, "load images as normal (OS-accessible) tasks")
+	baseline := flag.Bool("baseline", false, "boot the unmodified-FreeRTOS baseline")
+	prio := flag.Int("prio", 3, "task priority (0-7)")
+	verbose := flag.Bool("v", false, "trace kernel events")
+	flag.Parse()
+
+	if err := run(*describe, *ms, *normal, *baseline, *prio, *verbose, *itrace, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(describe bool, ms float64, normal, baseline bool, prio int, verbose bool, itrace int, files []string) error {
+	p, err := core.NewPlatform(core.Options{Baseline: baseline})
+	if err != nil {
+		return err
+	}
+	if verbose {
+		p.K.OnTrace = func(cycle uint64, event string) {
+			fmt.Printf("[%12d] %s\n", cycle, event)
+		}
+	}
+	if itrace > 0 {
+		left := itrace
+		p.M.OnStep = func(pc uint32, in isa.Instruction) {
+			if left <= 0 {
+				p.M.OnStep = nil
+				return
+			}
+			left--
+			fmt.Printf("  %08x:  %s\n", pc, in)
+		}
+	}
+	if describe {
+		fmt.Print(p.Describe())
+		return nil
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no task images given (or use -describe)")
+	}
+
+	kind := core.Secure
+	if normal || baseline {
+		kind = core.Normal
+	}
+	for _, f := range files {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		im, err := telf.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		tcb, id, err := p.LoadTaskSync(im, kind, prio)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if kind == core.Secure {
+			fmt.Printf("loaded %q as task %d at %#x, identity %x\n", im.Name, tcb.ID, tcb.Placement.Base, id)
+		} else {
+			fmt.Printf("loaded %q as task %d at %#x\n", im.Name, tcb.ID, tcb.Placement.Base)
+		}
+	}
+
+	cycles := machine.MillisToCycles(ms)
+	if err := p.Run(cycles); err != nil {
+		return err
+	}
+
+	maxLat, meanLat, nLat := p.K.IRQLatency()
+	fmt.Printf("\n--- ran %.1f ms (%d cycles), %d ticks, %d dispatches ---\n",
+		ms, cycles, p.K.Ticks(), p.K.Switches())
+	fmt.Printf("cpu utilization: %.1f %%; irq latency mean %.0f / max %d cycles (%d samples)\n",
+		p.K.Utilization()*100, meanLat, maxLat, nLat)
+	if out := p.Output(); out != "" {
+		fmt.Printf("uart: %q\n", out)
+	}
+	for _, t := range p.K.Tasks() {
+		fmt.Printf("task %d %-12q %-8s prio %d  activations %d  cpu %d cycles\n",
+			t.ID, t.Name, t.State, t.Priority, t.Activations, t.CPUCycles)
+	}
+	return nil
+}

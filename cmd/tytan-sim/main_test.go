@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func writeImage(t *testing.T, dir string) string {
+	t.Helper()
+	im, err := asm.Assemble(`
+.task "simtest"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi r1, 111  ; 'o'
+    svc 5
+    svc 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "simtest.telf")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDescribe(t *testing.T) {
+	if err := run(true, 1, false, false, 3, false, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSecure(t *testing.T) {
+	path := writeImage(t, t.TempDir())
+	if err := run(false, 5, false, false, 3, false, 8, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineNormal(t *testing.T) {
+	path := writeImage(t, t.TempDir())
+	if err := run(false, 5, true, true, 3, false, 0, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, 1, false, false, 3, false, 0, nil); err == nil {
+		t.Error("no images accepted")
+	}
+	if err := run(false, 1, false, false, 3, false, 0, []string{"/nonexistent.telf"}); err == nil {
+		t.Error("missing image accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.telf")
+	os.WriteFile(bad, []byte("junk"), 0o644)
+	if err := run(false, 1, false, false, 3, false, 0, []string{bad}); err == nil {
+		t.Error("junk image accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Attestation: local and remote attestation of dynamically loaded
+// tasks (§3 "Attestation").
+//
+// Two mutually distrusting stakeholders — a component supplier and the
+// car manufacturer — each deploy a task on the same control unit. The
+// manufacturer's backend remotely attests the supplier's task before
+// trusting its output, and the supplier's task locally attests that the
+// manufacturer's logger is present before sending it data.
+//
+//	go run ./examples/attestation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/rtos"
+	"repro/internal/trusted"
+)
+
+const supplierTask = `
+.task "supplier-ecu"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r6, 0xF0000200
+loop:
+    ld r0, [r6+0]
+    ldi r0, 32000
+    svc 2
+    jmp loop
+`
+
+const oemLogger = `
+.task "oem-logger"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    svc 18        ; block until a message arrives
+    jmp main
+`
+
+func main() {
+	platform, err := core.NewPlatform(core.Options{Provider: "tier1-supplier"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	supplierIm, err := asm.Assemble(supplierTask)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loggerIm, err := asm.Assemble(oemLogger)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	supplier, supplierID, err := platform.LoadTaskSync(supplierIm, core.Secure, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, loggerID, err := platform.LoadTaskSync(loggerIm, core.Secure, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("supplier task loaded, idt = %x\n", supplierID)
+	fmt.Printf("oem logger loaded,    idt = %x\n", loggerID)
+
+	// --- Remote attestation ------------------------------------------------
+	// The manufacturer's backend knows the supplier's published binary
+	// and the provisioned attestation key. It challenges with a fresh
+	// nonce; the device's Remote Attest task MACs (idt ‖ nonce) under
+	// Ka, which is derived from the platform key Kp that only the
+	// trusted components can read.
+	backend := platform.Verifier()
+	nonce := uint64(0xA5A5_0001)
+	quote, err := platform.Quote(supplier.ID, nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expected := trusted.IdentityOfImage(supplierIm)
+	if err := backend.Verify(quote, expected, nonce); err != nil {
+		log.Fatalf("backend rejected genuine task: %v", err)
+	}
+	fmt.Println("remote attestation: backend verified the supplier task ✔")
+
+	// A forged quote (e.g. by the untrusted OS, which cannot read Ka)
+	// does not verify.
+	forged := quote
+	forged.MAC[3] ^= 0xFF
+	if err := backend.Verify(forged, expected, nonce); err != nil {
+		fmt.Printf("remote attestation: forged quote rejected ✔ (%v)\n", err)
+	} else {
+		log.Fatal("forged quote accepted!")
+	}
+
+	// --- Local attestation --------------------------------------------------
+	// On the device, idt doubles as identifier and attestation report:
+	// the supplier task checks that a task with the logger's exact
+	// identity is currently loaded before trusting it with data. Only
+	// the RTM can write the registry, so the answer is authoritative.
+	if platform.C.Attest.LocalAttest(loggerID.TruncatedID()) {
+		fmt.Println("local attestation: oem logger is present with the expected identity ✔")
+	} else {
+		log.Fatal("logger not found")
+	}
+
+	// Unloading the logger invalidates its local attestation.
+	loggerTCB := findTask(platform, "oem-logger")
+	if err := platform.Unload(loggerTCB); err != nil {
+		log.Fatal(err)
+	}
+	if !platform.C.Attest.LocalAttest(loggerID.TruncatedID()) {
+		fmt.Println("local attestation: unloaded logger no longer attestable ✔")
+	} else {
+		log.Fatal("stale identity still attestable")
+	}
+}
+
+func findTask(p *core.Platform, name string) rtos.TaskID {
+	for _, t := range p.K.Tasks() {
+		if t.Name == name {
+			return t.ID
+		}
+	}
+	log.Fatalf("task %q not found", name)
+	return 0
+}

@@ -1,0 +1,108 @@
+// Fleet attestation: a backend verifies a whole fleet of TyTAN devices
+// over the network.
+//
+// Three simulated devices each boot, load the same published firmware
+// task, and serve attestation challenges over TCP (the internal/remote
+// wire protocol). One of them, however, runs a tampered build. The
+// backend walks the fleet, challenges every device with a fresh nonce,
+// and flags the compromised one — the workflow a car manufacturer would
+// run across electronic control units in the field.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/telf"
+	"repro/internal/trusted"
+)
+
+const firmware = `
+.task "ecu-fw"
+.entry main
+.stack 192
+.bss 28
+.text
+main:
+    ldi32 r6, 0xF0000200
+loop:
+    ld r0, [r6+0]
+    ldi r0, 32000
+    svc 2
+    jmp loop
+`
+
+func main() {
+	published, err := asm.Assemble(firmware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expected := trusted.IdentityOfImage(published)
+	fmt.Printf("backend: published firmware identity %x\n\n", expected)
+
+	// Bring up the fleet: device 2 runs a tampered build.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		image := published
+		if i == 2 {
+			tampered := *published
+			tampered.Text = append([]byte(nil), published.Text...)
+			tampered.Text[8] ^= 0x01
+			image = &tampered
+		}
+		addr, err := startDevice(fmt.Sprintf("ecu-%d", i), image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+
+	// The backend challenges every device.
+	verifier := trusted.NewVerifier(core.DevKey, "fleet")
+	healthy, compromised := 0, 0
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nonce := uint64(0xF1EE7000) + uint64(i)
+		quote, err := remote.Attest(conn, verifier, "fleet", expected, nonce)
+		conn.Close()
+		if err != nil {
+			fmt.Printf("ecu-%d at %s: COMPROMISED (%v)\n", i, addr, err)
+			compromised++
+			continue
+		}
+		fmt.Printf("ecu-%d at %s: healthy (mac %x…)\n", i, addr, quote.MAC[:6])
+		healthy++
+	}
+	fmt.Printf("\nfleet status: %d healthy, %d compromised\n", healthy, compromised)
+	if compromised != 1 {
+		log.Fatal("expected exactly one compromised device")
+	}
+}
+
+// startDevice boots one simulated device, loads its firmware, and
+// serves attestation challenges on a loopback port.
+func startDevice(name string, image *telf.Image) (string, error) {
+	platform, err := core.NewPlatform(core.Options{Provider: "fleet"})
+	if err != nil {
+		return "", err
+	}
+	if _, _, err := platform.LoadTaskSync(image, core.Secure, 3); err != nil {
+		return "", err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	fmt.Printf("%s: booted, serving attestation on %s\n", name, l.Addr())
+	go remote.Serve(l, remote.ComponentsAttestor{C: platform.C})
+	return l.Addr().String(), nil
+}

@@ -1,0 +1,72 @@
+// Quickstart: boot a TyTAN platform, write a task in assembly, load it
+// as a secure task, run the scheduler, and read what the task printed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// A task is plain assembly. The TyTAN tool chain (internal/asm) turns
+// it into a relocatable TELF image; the loader places it anywhere in
+// task memory and fixes up the absolute addresses.
+const taskSource = `
+.task "greeter"
+.entry main
+.stack 128
+.bss 28            ; mailbox space (every secure task reserves one)
+
+.text
+main:
+    ldi32 r2, msg        ; absolute address -> relocated at load time
+    ldi r3, 14           ; message length
+next:
+    ldb r1, [r2+0]       ; load one byte
+    svc 5                ; print it on the UART
+    addi r2, 1
+    addi r3, -1
+    cmpi r3, 0
+    bne next
+    svc 1                ; task exit
+
+.data
+msg:
+    .byte 104, 101, 108, 108, 111, 32   ; "hello "
+    .byte 102, 114, 111, 109, 32        ; "from "
+    .byte 116, 50, 10                   ; "t2\n"
+`
+
+func main() {
+	// Boot: machine, devices, RTOS, secure boot, EA-MPU on.
+	platform, err := core.NewPlatform(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(platform.Describe())
+
+	// Assemble and load. LoadTaskSync runs the full §4 sequence:
+	// allocate → load+relocate → prepare stack → configure EA-MPU →
+	// measure → schedule.
+	image, err := asm.Assemble(taskSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, identity, err := platform.LoadTaskSync(image, core.Secure, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nloaded %q as secure task %d\n", image.Name, task.ID)
+	fmt.Printf("measured identity (idt): %x\n", identity)
+
+	// Run 10 ms of simulated time.
+	if err := platform.Run(480_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuart output: %q\n", platform.Output())
+	fmt.Printf("simulated cycles: %d\n", platform.Cycles())
+}

@@ -1,0 +1,25 @@
+; blink.s — the "hello world" of embedded: toggle a value on the engine
+; actuator once per scheduling period. Assemble and run with:
+;
+;   go run ./cmd/tytan-asm examples/tasks/blink.s
+;   go run ./cmd/tytan-sim examples/tasks/blink.telf
+;
+.task "blink"
+.entry main
+.stack 128
+.bss 28               ; IPC mailbox space (secure-task convention)
+
+.equ ENGINE, 0xF0000500
+.equ PERIOD, 32000    ; one 1.5 kHz tick at 48 MHz
+
+.text
+main:
+    li   r4, ENGINE
+    clr  r2           ; blink state
+loop:
+    ldi  r3, 1
+    xor  r2, r3       ; toggle bit 0
+    st   [r4+0], r2
+    li   r0, PERIOD
+    svc  2            ; sleep one period
+    jmp  loop

@@ -1,0 +1,38 @@
+; sensor.s — sample the pedal and radar sensors each period, command
+; the engine with their sum, and print a dot every 16 activations.
+;
+;   go run ./cmd/tytan-asm examples/tasks/sensor.s
+;   go run ./cmd/tytan-sim -ms 50 examples/tasks/sensor.telf
+;
+.task "sensor"
+.entry main
+.stack 192
+.bss 28
+
+.equ PEDAL,  0xF0000200
+.equ RADAR,  0xF0000300
+.equ ENGINE, 0xF0000500
+.equ PERIOD, 32000
+
+.text
+main:
+    li   r6, PEDAL
+    li   r5, RADAR
+    li   r4, ENGINE
+    clr  r2                ; activation counter
+loop:
+    ld   r0, [r6+0]        ; pedal position
+    ld   r1, [r5+0]        ; radar distance
+    add  r0, r1
+    st   [r4+0], r0        ; engine command
+    inc  r2
+    ldi  r3, 15
+    and  r3, r2
+    cmpi r3, 0
+    bnz  sleep             ; every 16th activation...
+    ldi  r1, 46            ; '.'
+    svc  5                 ; ...print a dot
+sleep:
+    li   r0, PERIOD
+    svc  2
+    jmp  loop

@@ -1,0 +1,790 @@
+// Package asm implements a two-pass assembler that translates text
+// assembly for the simulated core (see internal/isa) into relocatable
+// TELF images (see internal/telf).
+//
+// The assembler is the user-visible half of the "TyTAN tool chain" the
+// paper mentions in §4: task developers write position-independent
+// assembly, and every absolute address reference (an LDI32 immediate or
+// a .word holding a label) becomes a relocation entry that the loader
+// fixes up at load time and the RTM task reverts before measurement.
+//
+// # Syntax
+//
+// One statement per line. Comments start with ';' or '#'. Sections are
+// selected with .text and .data; labels end with ':'.
+//
+//	.task  "pedal"      ; image name
+//	.entry main         ; entry point label (in .text)
+//	.stack 256          ; stack reservation in bytes
+//	.bss   64           ; zero-initialized region size in bytes
+//
+//	.text
+//	main:
+//	    ldi32 r1, buf       ; absolute address -> relocation
+//	    ldi32 r2, buf+4     ; label+offset -> relocation with addend
+//	    ld    r0, [r1+0]
+//	    cmpi  r0, 0
+//	    beq   done
+//	    svc   1
+//	done:
+//	    hlt
+//
+//	.data
+//	buf:
+//	    .word 0
+//	    .word main          ; data word holding an address -> relocation
+//	    .byte 1, 2, 3
+//	    .space 9
+//	    .align 4
+//
+// Numeric immediates accept decimal and 0x hexadecimal, with optional
+// leading '-'. Further directives: .equ NAME, value defines a constant;
+// .ascii "text" emits raw bytes. Pseudo-instructions li (immediate of
+// any width or a label), clr, inc, dec, bz and bnz expand to real
+// instructions during assembly.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/telf"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// stmt is one parsed statement, retained between the two passes.
+type stmt struct {
+	line    int
+	sec     section
+	offset  uint32 // offset within its section
+	width   uint32 // bytes emitted
+	mn      string // mnemonic or directive (lower case)
+	args    []string
+	isDir   bool
+	isLabel bool
+}
+
+// Assemble translates source into a TELF image.
+func Assemble(source string) (*telf.Image, error) {
+	a := &assembler{
+		labels: make(map[string]labelRef),
+		equs:   make(map[string]int64),
+	}
+	if err := a.parse(source); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	// Sections may be interleaved in the source, so relocations are not
+	// necessarily recorded in offset order; TELF requires it.
+	sort.Slice(a.relocs, func(i, j int) bool { return a.relocs[i].Offset < a.relocs[j].Offset })
+	im := &telf.Image{
+		Name:      a.name,
+		Entry:     a.entry,
+		Text:      a.text,
+		Data:      a.data,
+		BSSSize:   a.bssSize,
+		StackSize: a.stackSize,
+		Relocs:    a.relocs,
+	}
+	if im.StackSize == 0 {
+		im.StackSize = DefaultStackSize
+	}
+	if err := im.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: produced invalid image: %w", err)
+	}
+	return im, nil
+}
+
+// DefaultStackSize is used when the source has no .stack directive.
+const DefaultStackSize = 256
+
+type labelRef struct {
+	sec    section
+	offset uint32
+	line   int
+}
+
+type assembler struct {
+	name       string
+	entryLabel string
+	entryLine  int
+	entry      uint32
+	stackSize  uint32
+	bssSize    uint32
+
+	stmts  []stmt
+	labels map[string]labelRef
+	equs   map[string]int64
+
+	textSize uint32
+	dataSize uint32
+
+	text   []byte
+	data   []byte
+	relocs []telf.Reloc
+}
+
+// parse is pass one: tokenize, size every statement, and record label
+// offsets.
+func (a *assembler) parse(source string) error {
+	offs := map[section]*uint32{secText: new(uint32), secData: new(uint32)}
+	sec := secText
+	for i, raw := range strings.Split(source, "\n") {
+		line := i + 1
+		s := raw
+		if j := strings.IndexAny(s, ";#"); j >= 0 {
+			s = s[:j]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		// Labels: possibly followed by a statement on the same line. A
+		// colon only introduces a label when the text before it is a
+		// valid identifier — otherwise it belongs to an operand (e.g. a
+		// quoted .task name containing ':').
+		for {
+			j := strings.Index(s, ":")
+			if j < 0 {
+				break
+			}
+			label := strings.TrimSpace(s[:j])
+			if !validIdent(label) {
+				break
+			}
+			if _, dup := a.labels[label]; dup {
+				return errf(line, "duplicate label %q", label)
+			}
+			a.labels[label] = labelRef{sec: sec, offset: *offs[sec], line: line}
+			s = strings.TrimSpace(s[j+1:])
+			if s == "" {
+				break
+			}
+		}
+		if s == "" {
+			continue
+		}
+		mn, rest, _ := strings.Cut(s, " ")
+		mn = strings.ToLower(strings.TrimSpace(mn))
+		args := splitArgs(rest)
+
+		if strings.HasPrefix(mn, ".") {
+			w, newSec, err := a.directiveWidth(line, sec, mn, args)
+			if err != nil {
+				return err
+			}
+			if newSec != sec {
+				sec = newSec
+				continue
+			}
+			if w > 0 {
+				a.stmts = append(a.stmts, stmt{line: line, sec: sec, offset: *offs[sec], width: w, mn: mn, args: args, isDir: true})
+				*offs[sec] += w
+			}
+			continue
+		}
+
+		w, err := a.instWidth(line, mn, args)
+		if err != nil {
+			return err
+		}
+		if sec != secText {
+			return errf(line, "instruction %q outside .text", mn)
+		}
+		a.stmts = append(a.stmts, stmt{line: line, sec: sec, offset: *offs[sec], width: w, mn: mn, args: args})
+		*offs[sec] += w
+	}
+	a.textSize = *offs[secText]
+	a.dataSize = *offs[secData]
+	return nil
+}
+
+// directiveWidth handles pass-one processing of a directive: section
+// switches, metadata, and the emitted width of data directives.
+func (a *assembler) directiveWidth(line int, sec section, mn string, args []string) (width uint32, newSec section, err error) {
+	newSec = sec
+	switch mn {
+	case ".text":
+		return 0, secText, nil
+	case ".data":
+		return 0, secData, nil
+	case ".task":
+		if len(args) != 1 {
+			return 0, sec, errf(line, ".task wants one argument")
+		}
+		a.name = strings.Trim(args[0], `"`)
+		return 0, sec, nil
+	case ".entry":
+		if len(args) != 1 {
+			return 0, sec, errf(line, ".entry wants one label")
+		}
+		a.entryLabel = args[0]
+		a.entryLine = line
+		return 0, sec, nil
+	case ".stack", ".bss":
+		if len(args) != 1 {
+			return 0, sec, errf(line, "%s wants one size", mn)
+		}
+		v, perr := parseNum(args[0])
+		if perr != nil || v < 0 {
+			return 0, sec, errf(line, "%s: bad size %q", mn, args[0])
+		}
+		if mn == ".stack" {
+			a.stackSize = uint32(v)
+		} else {
+			a.bssSize = uint32(v)
+		}
+		return 0, sec, nil
+	case ".equ":
+		if len(args) != 2 {
+			return 0, sec, errf(line, ".equ wants NAME, value")
+		}
+		if !validIdent(args[0]) {
+			return 0, sec, errf(line, ".equ: bad name %q", args[0])
+		}
+		v, perr := a.evalNum(args[1])
+		if perr != nil {
+			return 0, sec, errf(line, ".equ: bad value %q", args[1])
+		}
+		if _, dup := a.equs[args[0]]; dup {
+			return 0, sec, errf(line, ".equ: %q redefined", args[0])
+		}
+		a.equs[args[0]] = v
+		return 0, sec, nil
+	case ".ascii":
+		str, perr := parseString(args)
+		if perr != nil {
+			return 0, sec, errf(line, ".ascii: %v", perr)
+		}
+		return uint32(len(str)), sec, nil
+	case ".word":
+		if len(args) == 0 {
+			return 0, sec, errf(line, ".word wants at least one value")
+		}
+		return uint32(4 * len(args)), sec, nil
+	case ".byte":
+		if len(args) == 0 {
+			return 0, sec, errf(line, ".byte wants at least one value")
+		}
+		return uint32(len(args)), sec, nil
+	case ".space":
+		if len(args) != 1 {
+			return 0, sec, errf(line, ".space wants one size")
+		}
+		v, perr := parseNum(args[0])
+		if perr != nil || v < 0 {
+			return 0, sec, errf(line, ".space: bad size %q", args[0])
+		}
+		return uint32(v), sec, nil
+	case ".align":
+		if len(args) != 1 {
+			return 0, sec, errf(line, ".align wants one value")
+		}
+		v, perr := parseNum(args[0])
+		if perr != nil || v <= 0 {
+			return 0, sec, errf(line, ".align: bad value %q", args[0])
+		}
+		// Width depends on the current offset; compute via a synthetic
+		// statement so pass two re-derives the same padding.
+		cur := a.curOffset(sec)
+		pad := (uint32(v) - cur%uint32(v)) % uint32(v)
+		return pad, sec, nil
+	default:
+		return 0, sec, errf(line, "unknown directive %q", mn)
+	}
+}
+
+// curOffset returns the current emit offset of a section during pass one.
+func (a *assembler) curOffset(sec section) uint32 {
+	var off uint32
+	for _, s := range a.stmts {
+		if s.sec == sec {
+			off = s.offset + s.width
+		}
+	}
+	return off
+}
+
+var mnemonics = map[string]isa.Op{
+	"nop": isa.OpNOP, "hlt": isa.OpHLT, "mov": isa.OpMOV, "ldi": isa.OpLDI,
+	"lui": isa.OpLUI, "ldi32": isa.OpLDI32, "ld": isa.OpLD, "st": isa.OpST,
+	"ldb": isa.OpLDB, "stb": isa.OpSTB, "add": isa.OpADD, "sub": isa.OpSUB,
+	"and": isa.OpAND, "or": isa.OpOR, "xor": isa.OpXOR, "shl": isa.OpSHL,
+	"shr": isa.OpSHR, "addi": isa.OpADDI, "mul": isa.OpMUL, "cmp": isa.OpCMP,
+	"cmpi": isa.OpCMPI, "jmp": isa.OpJMP, "beq": isa.OpBEQ, "bne": isa.OpBNE,
+	"blt": isa.OpBLT, "bge": isa.OpBGE, "bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+	"jr": isa.OpJR, "call": isa.OpCALL, "callr": isa.OpCALLR, "ret": isa.OpRET,
+	"push": isa.OpPUSH, "pop": isa.OpPOP, "svc": isa.OpSVC, "rdcyc": isa.OpRDCYC,
+}
+
+// pseudoOps maps pseudo-instructions to their expansion. Real
+// tool chains provide these conveniences; ours does too so example
+// tasks read naturally.
+var pseudoOps = map[string]bool{
+	"li": true, "clr": true, "inc": true, "dec": true, "bz": true, "bnz": true,
+}
+
+// instWidth sizes one instruction (pass one). Pseudo-instructions size
+// according to their expansion: li picks LDI for small immediates and
+// LDI32 otherwise.
+func (a *assembler) instWidth(line int, mn string, args []string) (uint32, error) {
+	if pseudoOps[mn] {
+		switch mn {
+		case "li":
+			if len(args) != 2 {
+				return 0, errf(line, "li wants rd, value")
+			}
+			if v, err := a.evalNum(args[1]); err == nil && v >= -32768 && v <= 32767 {
+				return 4, nil
+			}
+			return 8, nil // ldi32 (labels and wide constants)
+		default:
+			return 4, nil
+		}
+	}
+	op, ok := mnemonics[mn]
+	if !ok {
+		return 0, errf(line, "unknown mnemonic %q", mn)
+	}
+	return op.Width(), nil
+}
+
+// expandPseudo rewrites a pseudo-instruction statement into its real
+// mnemonic and arguments (pass two).
+func (a *assembler) expandPseudo(s *stmt) error {
+	switch s.mn {
+	case "li":
+		if v, err := a.evalNum(s.args[1]); err == nil && v >= -32768 && v <= 32767 {
+			s.mn = "ldi"
+		} else {
+			s.mn = "ldi32"
+		}
+	case "clr":
+		if len(s.args) != 1 {
+			return errf(s.line, "clr wants one register")
+		}
+		s.mn = "ldi"
+		s.args = []string{s.args[0], "0"}
+	case "inc", "dec":
+		if len(s.args) != 1 {
+			return errf(s.line, "%s wants one register", s.mn)
+		}
+		imm := "1"
+		if s.mn == "dec" {
+			imm = "-1"
+		}
+		s.mn = "addi"
+		s.args = []string{s.args[0], imm}
+	case "bz":
+		s.mn = "beq"
+	case "bnz":
+		s.mn = "bne"
+	}
+	return nil
+}
+
+// emit is pass two: encode instructions and data with all labels
+// resolved, recording relocations for absolute references.
+func (a *assembler) emit() error {
+	if a.entryLabel != "" {
+		ref, ok := a.labels[a.entryLabel]
+		if !ok {
+			return errf(a.entryLine, ".entry: undefined label %q", a.entryLabel)
+		}
+		if ref.sec != secText {
+			return errf(a.entryLine, ".entry: label %q not in .text", a.entryLabel)
+		}
+		a.entry = ref.offset
+	}
+	a.text = make([]byte, 0, a.textSize)
+	a.data = make([]byte, 0, a.dataSize)
+	for _, s := range a.stmts {
+		var err error
+		if s.isDir {
+			err = a.emitDirective(s)
+		} else {
+			err = a.emitInstruction(s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// imageOffset converts a label reference to its image-relative offset
+// (data follows text in the loaded layout).
+func (a *assembler) imageOffset(ref labelRef) uint32 {
+	if ref.sec == secData {
+		return a.textSize + ref.offset
+	}
+	return ref.offset
+}
+
+func (a *assembler) emitDirective(s stmt) error {
+	buf := &a.text
+	base := uint32(0)
+	if s.sec == secData {
+		buf = &a.data
+		base = a.textSize
+	}
+	switch s.mn {
+	case ".word":
+		for _, arg := range s.args {
+			off := base + uint32(len(*buf))
+			v, reloc, err := a.resolveValue(s.line, arg, telf.RelWord)
+			if err != nil {
+				return err
+			}
+			if reloc {
+				a.addReloc(off, telf.RelWord)
+			}
+			*buf = append(*buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".byte":
+		for _, arg := range s.args {
+			v, err := parseNum(arg)
+			if err != nil || v < -128 || v > 255 {
+				return errf(s.line, ".byte: bad value %q", arg)
+			}
+			*buf = append(*buf, byte(v))
+		}
+	case ".ascii":
+		str, err := parseString(s.args)
+		if err != nil {
+			return errf(s.line, ".ascii: %v", err)
+		}
+		*buf = append(*buf, str...)
+	case ".space", ".align":
+		*buf = append(*buf, make([]byte, s.width)...)
+	default:
+		return errf(s.line, "internal: directive %q reached emit", s.mn)
+	}
+	return nil
+}
+
+func (a *assembler) addReloc(off uint32, kind telf.RelocKind) {
+	a.relocs = append(a.relocs, telf.Reloc{Offset: off, Kind: kind})
+}
+
+// resolveValue evaluates a .word or LDI32 operand: a number, a label, or
+// label+offset / label-offset. It reports whether the value needs a
+// relocation (i.e. it is an image-relative address).
+func (a *assembler) resolveValue(line int, arg string, kind telf.RelocKind) (uint32, bool, error) {
+	if v, err := a.evalNum(arg); err == nil {
+		return uint32(v), false, nil
+	}
+	label, addend, err := splitLabelAddend(arg)
+	if err != nil {
+		return 0, false, errf(line, "bad value %q: %v", arg, err)
+	}
+	ref, ok := a.labels[label]
+	if !ok {
+		return 0, false, errf(line, "undefined label %q", label)
+	}
+	return uint32(int64(a.imageOffset(ref)) + addend), true, nil
+}
+
+func (a *assembler) emitInstruction(s stmt) error {
+	if pseudoOps[s.mn] {
+		if err := a.expandPseudo(&s); err != nil {
+			return err
+		}
+	}
+	op := mnemonics[s.mn]
+	in := isa.Instruction{Op: op}
+	wantArgs := func(n int) error {
+		if len(s.args) != n {
+			return errf(s.line, "%s wants %d operand(s), got %d", s.mn, n, len(s.args))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case isa.OpNOP, isa.OpHLT, isa.OpRET:
+		err = wantArgs(0)
+	case isa.OpMOV, isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpSHL, isa.OpSHR, isa.OpMUL, isa.OpCMP:
+		if err = wantArgs(2); err == nil {
+			in.Rd, err = parseReg(s.line, s.args[0])
+			if err == nil {
+				in.Rs, err = parseReg(s.line, s.args[1])
+			}
+		}
+	case isa.OpLDI, isa.OpADDI, isa.OpCMPI, isa.OpLUI:
+		if err = wantArgs(2); err == nil {
+			in.Rd, err = parseReg(s.line, s.args[0])
+			if err == nil {
+				in.Imm, err = a.parseImm16(s.line, s.args[1], op == isa.OpLUI)
+			}
+		}
+	case isa.OpLDI32:
+		if err = wantArgs(2); err == nil {
+			in.Rd, err = parseReg(s.line, s.args[0])
+			if err == nil {
+				var reloc bool
+				in.Imm32, reloc, err = a.resolveValue(s.line, s.args[1], telf.RelImm32)
+				if reloc {
+					kind := telf.RelImm32
+					if strings.ContainsAny(s.args[1], "+-") {
+						kind = telf.RelImm32Add
+					}
+					// The relocated word is the second word of LDI32.
+					a.addReloc(s.offset+4, kind)
+				}
+			}
+		}
+	case isa.OpLD, isa.OpLDB:
+		if err = wantArgs(2); err == nil {
+			in.Rd, err = parseReg(s.line, s.args[0])
+			if err == nil {
+				in.Rs, in.Imm, err = parseMem(s.line, s.args[1])
+			}
+		}
+	case isa.OpST, isa.OpSTB:
+		if err = wantArgs(2); err == nil {
+			in.Rd, in.Imm, err = parseMem(s.line, s.args[0])
+			if err == nil {
+				in.Rs, err = parseReg(s.line, s.args[1])
+			}
+		}
+	case isa.OpJMP, isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU,
+		isa.OpBGEU, isa.OpCALL:
+		if err = wantArgs(1); err == nil {
+			in.Imm, err = a.branchTarget(s, s.args[0])
+		}
+	case isa.OpJR, isa.OpCALLR, isa.OpPUSH:
+		if err = wantArgs(1); err == nil {
+			in.Rs, err = parseReg(s.line, s.args[0])
+		}
+	case isa.OpPOP, isa.OpRDCYC:
+		if err = wantArgs(1); err == nil {
+			in.Rd, err = parseReg(s.line, s.args[0])
+		}
+	case isa.OpSVC:
+		if err = wantArgs(1); err == nil {
+			var v int64
+			v, err = parseNum(s.args[0])
+			if err != nil || v < 0 || v > 0xFFFF {
+				err = errf(s.line, "svc: bad service number %q", s.args[0])
+			} else {
+				in.Imm = int16(uint16(v))
+			}
+		}
+	default:
+		err = errf(s.line, "internal: unhandled op %v", op)
+	}
+	if err != nil {
+		return err
+	}
+	a.text = isa.Encode(a.text, in)
+	return nil
+}
+
+// branchTarget resolves a branch operand: either a numeric word-relative
+// offset or a .text label converted to a PC-relative word offset. The
+// branch displacement is relative to the *next* instruction.
+func (a *assembler) branchTarget(s stmt, arg string) (int16, error) {
+	if v, err := parseNum(arg); err == nil {
+		if v < -32768 || v > 32767 {
+			return 0, errf(s.line, "branch offset %d out of range", v)
+		}
+		return int16(v), nil
+	}
+	ref, ok := a.labels[arg]
+	if !ok {
+		return 0, errf(s.line, "undefined label %q", arg)
+	}
+	if ref.sec != secText {
+		return 0, errf(s.line, "branch to non-text label %q", arg)
+	}
+	next := int64(s.offset) + int64(s.width)
+	delta := int64(ref.offset) - next
+	if delta%4 != 0 {
+		return 0, errf(s.line, "branch target %q not word-aligned", arg)
+	}
+	w := delta / 4
+	if w < -32768 || w > 32767 {
+		return 0, errf(s.line, "branch to %q out of range (%d words)", arg, w)
+	}
+	return int16(w), nil
+}
+
+// evalNum evaluates a numeric token, resolving .equ constants.
+func (a *assembler) evalNum(s string) (int64, error) {
+	if v, err := parseNum(s); err == nil {
+		return v, nil
+	}
+	if v, ok := a.equs[strings.TrimSpace(s)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("not a number or constant: %q", s)
+}
+
+// parseString joins comma-split args back and strips one level of
+// double quotes. (Strings containing commas were split by the arg
+// tokenizer; rejoining restores them.)
+func parseString(args []string) ([]byte, error) {
+	joined := strings.Join(args, ", ")
+	joined = strings.TrimSpace(joined)
+	if len(joined) < 2 || joined[0] != '"' || joined[len(joined)-1] != '"' {
+		return nil, fmt.Errorf("want a double-quoted string, got %q", joined)
+	}
+	return []byte(joined[1 : len(joined)-1]), nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = s[1:]
+	case strings.HasPrefix(s, "+"):
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 32)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 32)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func parseReg(line int, s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] <= '7' {
+		return isa.Reg(s[1] - '0'), nil
+	}
+	return 0, errf(line, "bad register %q", s)
+}
+
+func (a *assembler) parseImm16(line int, s string, unsigned bool) (int16, error) {
+	v, err := a.evalNum(s)
+	if err != nil {
+		return 0, errf(line, "bad immediate %q", s)
+	}
+	if unsigned {
+		if v < 0 || v > 0xFFFF {
+			return 0, errf(line, "immediate %d out of unsigned 16-bit range", v)
+		}
+		return int16(uint16(v)), nil
+	}
+	if v < -32768 || v > 32767 {
+		return 0, errf(line, "immediate %d out of signed 16-bit range", v)
+	}
+	return int16(v), nil
+}
+
+// parseMem parses a "[reg+off]" or "[reg-off]" or "[reg]" operand.
+func parseMem(line int, s string) (isa.Reg, int16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	regPart := inner
+	var offPart string
+	if i := strings.IndexAny(inner[1:], "+-"); i >= 0 {
+		regPart = inner[:i+1]
+		offPart = inner[i+1:]
+	}
+	r, err := parseReg(line, regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offPart == "" {
+		return r, 0, nil
+	}
+	off, err := parseNum(offPart)
+	if err != nil || off < -32768 || off > 32767 {
+		return 0, 0, errf(line, "bad memory offset %q", offPart)
+	}
+	return r, int16(off), nil
+}
+
+// splitLabelAddend splits "label", "label+N" or "label-N".
+func splitLabelAddend(s string) (label string, addend int64, err error) {
+	i := strings.IndexAny(s, "+-")
+	if i < 0 {
+		if !validIdent(s) {
+			return "", 0, fmt.Errorf("not a label")
+		}
+		return s, 0, nil
+	}
+	label = s[:i]
+	if !validIdent(label) {
+		return "", 0, fmt.Errorf("not a label")
+	}
+	addend, err = parseNum(s[i:])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad addend %q", s[i:])
+	}
+	return label, addend, nil
+}

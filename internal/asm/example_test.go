@@ -1,0 +1,35 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+)
+
+// Example assembles a tiny relocatable task and inspects the image: the
+// ldi32 of a label produced a relocation entry the loader will rebase.
+func Example() {
+	image, err := asm.Assemble(`
+.task "probe"
+.entry main
+.stack 128
+.text
+main:
+    ldi32 r1, counter   ; absolute address -> relocation
+    ld    r0, [r1+0]
+    hlt
+.data
+counter:
+    .word 7
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task %q: text %d B, data %d B, relocs %d\n",
+		image.Name, len(image.Text), len(image.Data), len(image.Relocs))
+	fmt.Printf("fixup at +%#x (%s)\n", image.Relocs[0].Offset, image.Relocs[0].Kind)
+	// Output:
+	// task "probe": text 16 B, data 4 B, relocs 1
+	// fixup at +0x4 (imm32)
+}

@@ -1,0 +1,138 @@
+// Package benchlab is the evaluation harness: for every table and
+// figure of the paper's §6 it builds the workload, runs it on the
+// simulated platform, and renders the same rows the paper reports,
+// side by side with the paper's published numbers.
+//
+// The functions here are consumed three ways: by cmd/tytan-bench (human
+// output), by bench_test.go (testing.B metrics), and by the package's
+// own tests (shape assertions: who wins, how things scale).
+package benchlab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row (stringifying each cell).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = commas(fmt.Sprint(v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// commas inserts thousands separators into a decimal integer string.
+func commas(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			if neg {
+				return "-" + s
+			}
+			return s
+		}
+	}
+	var out []byte
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, byte(c))
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown (used by
+// tytan-bench -md to paste results into EXPERIMENTS.md-style docs).
+func (t Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for _, c := range cells {
+			sb.WriteString(" " + strings.ReplaceAll(c, "|", "\\|") + " |")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*%s*\n", n)
+	}
+	return sb.String()
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/eampu"
+	"repro/internal/machine"
+	"repro/internal/rtos"
+	"repro/internal/telf"
+	"repro/internal/trusted"
+)
+
+// Adversarial tests: each one plays a §5 attack — a malicious task or
+// compromised component trying to break isolation, availability or
+// authenticity — and asserts TyTAN's promised outcome: the attack fails
+// and nobody else is affected.
+
+// spyTask tries to read a victim's memory at an address patched into
+// its data section.
+const spyTask = `
+.task "spy"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r1, target
+    ld r1, [r1+0]     ; victim address
+    ld r0, [r1+0]     ; the forbidden read
+    ldi r1, 88        ; 'X' — only printed if the read succeeded
+    svc 5
+    svc 1
+.data
+target:
+    .word 0
+`
+
+const victimTask = `
+.task "victim"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r1, secret
+    ldi r0, 30000
+    svc 2
+    jmp main
+.data
+secret:
+    .word 0x5EC12E7
+`
+
+// itoaBytes renders a name as .byte operands so each generated image
+// has distinct *measured* content (the TELF name field is metadata and
+// deliberately not part of the identity).
+func itoaBytes(name string) string {
+	out := ""
+	for i, c := range []byte(name) {
+		if i > 0 {
+			out += ", "
+		}
+		out += itoa(int(c))
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func patchWord(im []byte, v uint32) {
+	im[0] = byte(v)
+	im[1] = byte(v >> 8)
+	im[2] = byte(v >> 16)
+	im[3] = byte(v >> 24)
+}
+
+func TestAttackSpyReadsSecureTask(t *testing.T) {
+	p := newTyTAN(t)
+	victim, _, err := p.LoadTaskSync(mustImage(t, victimTask), Secure, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spyIm := mustImage(t, spyTask)
+	patchWord(spyIm.Data, victim.Placement.Base)
+	spy, _, err := p.LoadTaskSync(spyIm, Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(10 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Output(), "X") {
+		t.Fatal("spy read the victim's memory")
+	}
+	if _, ok := p.K.Task(spy.ID); ok {
+		t.Error("spy survived its violation")
+	}
+	if _, ok := p.K.Task(victim.ID); !ok {
+		t.Error("victim was collateral damage")
+	}
+}
+
+// jmpTask jumps into the middle of a victim task (code-reuse attempt).
+const jmpTask = `
+.task "rop"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r1, target
+    ld r1, [r1+0]
+    jr r1             ; jump past the victim's entry point
+    svc 1
+.data
+target:
+    .word 0
+`
+
+func TestAttackCodeReuseMidRegionJump(t *testing.T) {
+	p := newTyTAN(t)
+	victim, _, err := p.LoadTaskSync(mustImage(t, victimTask), Secure, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropIm := mustImage(t, jmpTask)
+	patchWord(ropIm.Data, victim.EntryAddr+8) // mid-body gadget address
+	rop, _, err := p.LoadTaskSync(ropIm, Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(10 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.K.Task(rop.ID); ok {
+		t.Error("code-reuse task survived the entry violation")
+	}
+	if _, ok := p.K.Task(victim.ID); !ok {
+		t.Error("victim killed by someone else's violation")
+	}
+}
+
+// idtTask tries to install its own interrupt handler by writing the IDT.
+const idtTask = `
+.task "idt-writer"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r1, 0x1000   ; IDT base
+    ldi32 r2, 0x41414141
+    st [r1+0], r2      ; overwrite vector 0
+    ldi r1, 88
+    svc 5
+    svc 1
+`
+
+func TestAttackIDTOverwrite(t *testing.T) {
+	p := newTyTAN(t)
+	if _, _, err := p.LoadTaskSync(mustImage(t, idtTask), Secure, 3); err != nil {
+		t.Fatal(err)
+	}
+	handlerBefore := p.M.IDTHandler(machine.IRQTimer)
+	if err := p.Run(10 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Output(), "X") {
+		t.Fatal("task survived writing the IDT")
+	}
+	if got := p.M.IDTHandler(machine.IRQTimer); got != handlerBefore {
+		t.Fatalf("IDT modified: %#x -> %#x", handlerBefore, got)
+	}
+}
+
+// keyTask tries to read the platform key over MMIO.
+const keyTask = `
+.task "key-thief"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi32 r1, 0xF0000400   ; key store
+    ld r0, [r1+0]
+    ldi r1, 88
+    svc 5
+    svc 1
+`
+
+func TestAttackPlatformKeyRead(t *testing.T) {
+	p := newTyTAN(t)
+	if _, _, err := p.LoadTaskSync(mustImage(t, keyTask), Secure, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(10 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.Output(), "X") {
+		t.Fatal("task read the platform key")
+	}
+}
+
+// TestAttackForgedIPCSenderIdentity: a task cannot make the proxy lie
+// about who sent a message — the proxy derives idS from the interrupt
+// origin, not from anything the sender controls.
+func TestAttackForgedIPCSenderIdentity(t *testing.T) {
+	p := newTyTAN(t)
+	mallory, malID, err := p.LoadTaskSync(GenTestImage(t, "mallory"), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, aliceID, err := p.LoadTaskSync(GenTestImage(t, "alice"), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, bobID, err := p.LoadTaskSync(GenTestImage(t, "bob"), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = alice
+	_ = aliceID
+
+	// Mallory sends to Bob. Whatever registers she fills, Bob's mailbox
+	// carries Mallory's measured identity.
+	status := p.C.Proxy.Send(p.K, mallory, bobID.TruncatedID(), []uint32{1}, 4, false)
+	if status != trusted.IPCStatusOK {
+		t.Fatalf("send = %d", status)
+	}
+	e, _ := p.C.RTM.LookupByTask(bob.ID)
+	box, _ := trusted.MailboxAddr(e)
+	var lo, hi uint32
+	p.M.WithExecContext(bob.Placement.Base, func() {
+		lo, _ = p.M.Read32(box + 4)
+		hi, _ = p.M.Read32(box + 8)
+	})
+	got := uint64(lo) | uint64(hi)<<32
+	if got != malID.TruncatedID() {
+		t.Errorf("sender identity = %#x, want mallory's %#x", got, malID.TruncatedID())
+	}
+	if got == aliceID.TruncatedID() {
+		t.Error("identity spoofed to alice")
+	}
+}
+
+// TestAttackSlotExhaustionIsBounded: a provider loading tasks until the
+// EA-MPU runs out of slots gets clean failures; already-loaded tasks
+// keep running (availability, §5: tasks are "bound in their use of
+// system resources").
+func TestAttackSlotExhaustionIsBounded(t *testing.T) {
+	p := newTyTAN(t)
+	var loaded []rtos.TaskID
+	var firstErr error
+	for i := 0; i < 32; i++ {
+		tcb, _, err := p.LoadTaskSync(GenTestImage(t, "flood"), Secure, 2)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		loaded = append(loaded, tcb.ID)
+	}
+	if firstErr == nil {
+		t.Fatal("slot exhaustion never surfaced")
+	}
+	if !errors.Is(firstErr, ErrLoadFailed) {
+		t.Errorf("exhaustion error = %v", firstErr)
+	}
+	if len(loaded) == 0 {
+		t.Fatal("nothing loaded before exhaustion")
+	}
+	// Everything already loaded still exists and the platform still
+	// schedules.
+	for _, id := range loaded {
+		if _, ok := p.K.Task(id); !ok {
+			t.Errorf("task %d lost during exhaustion", id)
+		}
+	}
+	if err := p.Run(5 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	// Unloading one frees a slot; loading works again.
+	if err := p.Unload(loaded[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.LoadTaskSync(GenTestImage(t, "again"), Secure, 2); err != nil {
+		t.Errorf("load after unload failed: %v", err)
+	}
+}
+
+// TestAttackSpinningTaskCannotStarve: a busy-looping task at one
+// priority cannot starve an equal-priority peer (round robin) nor a
+// higher-priority one (pre-emption) — the §5 availability argument.
+func TestAttackSpinningTaskCannotStarve(t *testing.T) {
+	p := newTyTAN(t)
+	spin := mustImage(t, `
+.task "hog"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    jmp main
+`)
+	beat := mustImage(t, `
+.task "beat"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi r1, 46   ; '.'
+loop:
+    svc 5
+    ldi r0, 30000
+    svc 2
+    jmp loop
+`)
+	if _, _, err := p.LoadTaskSync(spin, Secure, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.LoadTaskSync(beat, Secure, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(40 * DefaultTickPeriod); err != nil {
+		t.Fatal(err)
+	}
+	dots := strings.Count(p.Output(), ".")
+	if dots < 35 {
+		t.Errorf("high-priority heartbeat ran %d times in 40 periods; starved by the hog", dots)
+	}
+}
+
+// TestAttackEAMPUDriverOverlap: a malicious load cannot claim a region
+// overlapping an existing task (the Table 6 policy check).
+func TestAttackEAMPUDriverOverlap(t *testing.T) {
+	p := newTyTAN(t)
+	victim, _, err := p.LoadTaskSync(GenTestImage(t, "v"), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := eampu.Rule{
+		Code:  eampu.Region{Start: 0x30_0000, Size: 0x100},
+		Data:  victim.Placement.Region(),
+		Perm:  eampu.PermRW,
+		Owner: 999,
+	}
+	if _, err := p.C.Driver.Configure(rule); !errors.Is(err, eampu.ErrOverlap) {
+		t.Errorf("overlapping claim = %v, want ErrOverlap", err)
+	}
+}
+
+// GenTestImage builds a small distinct secure-task image (the name is
+// baked into the TELF header, so each call yields a distinct identity).
+func GenTestImage(t *testing.T, name string) *telf.Image {
+	t.Helper()
+	im := mustImage(t, `
+.task "`+name+`"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi r0, 30000
+    svc 2
+    jmp main
+.data
+tag:
+    .byte `+itoaBytes(name)+`
+`)
+	return im
+}

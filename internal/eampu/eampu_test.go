@@ -1,0 +1,433 @@
+package eampu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Test fixture layout:
+//
+//	OS code    [0x1000, 0x2000)
+//	task A     [0x4000, 0x5000)  entry 0x4000
+//	task B     [0x6000, 0x7000)  entry 0x6004
+//	proxy code [0x8000, 0x8100)  trusted, locked, RW over all RAM
+//	RAM        [0x0000, 0x10000)
+func fixture(t *testing.T) *MPU {
+	t.Helper()
+	m := &MPU{}
+	install := func(slot int, r Rule) {
+		t.Helper()
+		if err := m.Install(slot, r); err != nil {
+			t.Fatalf("install slot %d: %v", slot, err)
+		}
+	}
+	taskA := Region{0x4000, 0x1000}
+	taskB := Region{0x6000, 0x1000}
+	proxy := Region{0x8000, 0x100}
+	// Boot rules (locked): proxy code itself, and its broad grant.
+	install(0, Rule{Code: proxy, Data: proxy, Perm: PermRX, Locked: true, Owner: 100})
+	install(1, Rule{Code: proxy, Data: Region{0, 0x10000}, Perm: PermRW, Locked: true, GrantOnly: true, Owner: 100})
+	// Task rules.
+	install(2, Rule{Code: taskA, Data: taskA, Perm: PermRWX, Entry: 0x4000, EnforceEntry: true, Owner: 1})
+	install(3, Rule{Code: taskB, Data: taskB, Perm: PermRWX, Entry: 0x6004, EnforceEntry: true, Owner: 2})
+	m.Enable()
+	return m
+}
+
+func TestDisabledAllowsEverything(t *testing.T) {
+	m := &MPU{}
+	if err := m.Install(0, Rule{Data: Region{0x4000, 0x1000}, Perm: PermR, Owner: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckData(0x9999, AccessWrite, 0x4000, 4); err != nil {
+		t.Errorf("disabled unit denied access: %v", err)
+	}
+	if err := m.CheckExec(0, 0x4000, false); err != nil {
+		t.Errorf("disabled unit denied exec: %v", err)
+	}
+}
+
+func TestTaskSelfAccess(t *testing.T) {
+	m := fixture(t)
+	if err := m.CheckData(0x4010, AccessRead, 0x4800, 4); err != nil {
+		t.Errorf("task A read own memory: %v", err)
+	}
+	if err := m.CheckData(0x4010, AccessWrite, 0x4FFC, 4); err != nil {
+		t.Errorf("task A write own stack: %v", err)
+	}
+}
+
+func TestCrossTaskIsolation(t *testing.T) {
+	m := fixture(t)
+	err := m.CheckData(0x4010, AccessRead, 0x6000, 4)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("task A read task B = %v, want *Violation", err)
+	}
+	if v.PC != 0x4010 || v.Addr != 0x6000 || v.Kind != AccessRead {
+		t.Errorf("violation = %+v", v)
+	}
+	if err := m.CheckData(0x6010, AccessWrite, 0x4000, 4); err == nil {
+		t.Error("task B wrote task A memory")
+	}
+}
+
+func TestOSCannotAccessSecureTask(t *testing.T) {
+	m := fixture(t)
+	// OS code is at 0x1000; task regions are claimed, so the OS has no
+	// rule granting access.
+	if err := m.CheckData(0x1000, AccessRead, 0x4000, 4); err == nil {
+		t.Error("OS read secure task memory")
+	}
+	// Unclaimed memory stays public to the OS.
+	if err := m.CheckData(0x1000, AccessWrite, 0xF000, 4); err != nil {
+		t.Errorf("OS write to unclaimed memory: %v", err)
+	}
+}
+
+func TestTrustedProxyBroadGrant(t *testing.T) {
+	m := fixture(t)
+	if err := m.CheckData(0x8010, AccessWrite, 0x6100, 4); err != nil {
+		t.Errorf("proxy write to task B: %v", err)
+	}
+	if err := m.CheckData(0x8010, AccessRead, 0x4100, 4); err != nil {
+		t.Errorf("proxy read task A: %v", err)
+	}
+	// But the proxy's broad grant is RW, not X.
+	if err := m.CheckExec(0x8010, 0x4000, false); err != nil {
+		// Entry 0x4000 is task A's entry point; exec lands there via
+		// task A's own rule, so this is allowed.
+		t.Errorf("branch to task A entry: %v", err)
+	}
+}
+
+func TestEntryPointEnforcement(t *testing.T) {
+	m := fixture(t)
+	// Entering task B anywhere but 0x6004 from outside must fail.
+	if err := m.CheckExec(0x1000, 0x6008, false); err == nil {
+		t.Error("mid-region entry allowed")
+	}
+	var v *Violation
+	err := m.CheckExec(0x1000, 0x6010, false)
+	if !errors.As(err, &v) || !v.EntryErr || v.Entry != 0x6004 {
+		t.Errorf("entry violation = %+v", v)
+	}
+	// Entering at the entry point by an explicit branch is fine.
+	if err := m.CheckExec(0x1000, 0x6004, false); err != nil {
+		t.Errorf("entry at entry point: %v", err)
+	}
+	// Sequential fall-through across the boundary is rejected even at
+	// the entry point: invocation must be a deliberate transfer.
+	if err := m.CheckExec(0x5FFC, 0x6004, true); err == nil {
+		t.Error("sequential fall-through into entry allowed")
+	}
+	// Sequential execution inside the region is fine.
+	if err := m.CheckExec(0x6004, 0x6008, true); err != nil {
+		t.Errorf("sequential inside region: %v", err)
+	}
+	// Branches inside the region are fine too.
+	if err := m.CheckExec(0x6100, 0x6008, false); err != nil {
+		t.Errorf("intra-region branch: %v", err)
+	}
+}
+
+func TestExecInNonExecutableRegion(t *testing.T) {
+	m := &MPU{}
+	if err := m.Install(0, Rule{Data: Region{0x4000, 0x100}, Perm: PermRW, Owner: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Enable()
+	if err := m.CheckExec(0, 0x4000, false); err == nil {
+		t.Error("executed from a data-only region")
+	}
+}
+
+func TestExecUnclaimedIsPublic(t *testing.T) {
+	m := fixture(t)
+	if err := m.CheckExec(0x1000, 0x2000, true); err != nil {
+		t.Errorf("exec in unclaimed memory: %v", err)
+	}
+}
+
+func TestFindFreeSlot(t *testing.T) {
+	m := fixture(t)
+	slot, scanned, err := m.FindFreeSlot()
+	if err != nil || slot != 4 || scanned != 5 {
+		t.Errorf("FindFreeSlot = (%d, %d, %v), want (4, 5, nil)", slot, scanned, err)
+	}
+	// Fill everything.
+	for i := slot; i < NumSlots; i++ {
+		if err := m.Install(i, Rule{Data: Region{uint32(0x20000 + i*0x100), 0x100}, Perm: PermR, Owner: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, scanned, err := m.FindFreeSlot(); err != ErrNoFreeSlot || scanned != NumSlots {
+		t.Errorf("full unit: (%d, %v), want (%d, ErrNoFreeSlot)", scanned, err, NumSlots)
+	}
+}
+
+func TestPolicyCheckOverlap(t *testing.T) {
+	m := fixture(t)
+	// Overlapping task A's region with a different owner: rejected.
+	err := m.PolicyCheck(Rule{Data: Region{0x4800, 0x100}, Perm: PermRW, Owner: 7})
+	if !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlap check = %v, want ErrOverlap", err)
+	}
+	// Same owner may refine its own regions (e.g. shared memory windows).
+	if err := m.PolicyCheck(Rule{Data: Region{0x4800, 0x100}, Perm: PermRW, Owner: 1}); err != nil {
+		t.Errorf("same-owner overlap rejected: %v", err)
+	}
+	// Overlap with a locked (trusted, broad) rule is permitted.
+	if err := m.PolicyCheck(Rule{Data: Region{0x9000, 0x100}, Perm: PermRW, Owner: 7}); err != nil {
+		t.Errorf("overlap with locked grant rejected: %v", err)
+	}
+	if err := m.PolicyCheck(Rule{Data: Region{}, Perm: PermRW, Owner: 7}); !errors.Is(err, ErrEmptyRegion) {
+		t.Errorf("empty region = %v, want ErrEmptyRegion", err)
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	m := fixture(t)
+	if err := m.Install(2, Rule{}); err != ErrSlotInUse {
+		t.Errorf("install into used slot = %v", err)
+	}
+	if err := m.Install(-1, Rule{}); err != ErrSlotRange {
+		t.Errorf("install slot -1 = %v", err)
+	}
+	if err := m.Install(NumSlots, Rule{}); err != ErrSlotRange {
+		t.Errorf("install slot %d = %v", NumSlots, err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := fixture(t)
+	if err := m.Clear(2); err != nil {
+		t.Fatalf("clear task rule: %v", err)
+	}
+	// Task A region is now unclaimed: public again.
+	if err := m.CheckData(0x1000, AccessRead, 0x4000, 4); err != nil {
+		t.Errorf("read after clear: %v", err)
+	}
+	if err := m.Clear(2); err != ErrSlotFree {
+		t.Errorf("double clear = %v", err)
+	}
+	if err := m.Clear(0); err != ErrSlotLocked {
+		t.Errorf("clear locked = %v", err)
+	}
+	if err := m.Clear(99); err != ErrSlotRange {
+		t.Errorf("clear out of range = %v", err)
+	}
+}
+
+func TestClearOwner(t *testing.T) {
+	m := fixture(t)
+	if n := m.ClearOwner(1); n != 1 {
+		t.Errorf("ClearOwner(1) = %d, want 1", n)
+	}
+	if n := m.ClearOwner(100); n != 0 {
+		t.Errorf("ClearOwner(locked owner) = %d, want 0", n)
+	}
+	if m.UsedSlots() != 3 {
+		t.Errorf("UsedSlots = %d, want 3", m.UsedSlots())
+	}
+}
+
+func TestSlotAccessor(t *testing.T) {
+	m := fixture(t)
+	r, ok := m.Slot(2)
+	if !ok || r.Owner != 1 {
+		t.Errorf("Slot(2) = %+v, %v", r, ok)
+	}
+	if _, ok := m.Slot(17); ok {
+		t.Error("Slot(17) reported in use")
+	}
+	if _, ok := m.Slot(-1); ok {
+		t.Error("Slot(-1) reported in use")
+	}
+}
+
+func TestRegionOps(t *testing.T) {
+	r := Region{0x100, 0x100}
+	if !r.Contains(0x100) || !r.Contains(0x1FF) || r.Contains(0x200) || r.Contains(0xFF) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !r.ContainsRange(0x1FC, 4) || r.ContainsRange(0x1FD, 4) {
+		t.Error("ContainsRange boundary behaviour wrong")
+	}
+	if (Region{}).Contains(0) {
+		t.Error("empty region contains address")
+	}
+	if !r.Overlaps(Region{0x1FF, 1}) || r.Overlaps(Region{0x200, 1}) {
+		t.Error("Overlaps boundary behaviour wrong")
+	}
+	if r.Overlaps(Region{}) {
+		t.Error("overlap with empty region")
+	}
+	if r.String() != "[0x100,0x200)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRWX.String() != "rwx" || PermRW.String() != "rw-" || Perm(0).String() != "---" {
+		t.Error("Perm.String wrong")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{PC: 0x10, Kind: AccessWrite, Addr: 0x20}
+	if v.Error() == "" {
+		t.Error("empty error text")
+	}
+	ev := &Violation{PC: 0x10, Addr: 0x24, Entry: 0x20, EntryErr: true}
+	if ev.Error() == v.Error() {
+		t.Error("entry violation text not distinct")
+	}
+}
+
+// TestOverlapsSymmetricQuick property-tests that Overlaps is symmetric
+// and consistent with Contains.
+func TestOverlapsSymmetricQuick(t *testing.T) {
+	f := func(a, b, sa, sb uint16) bool {
+		ra := Region{uint32(a), uint32(sa)}
+		rb := Region{uint32(b), uint32(sb)}
+		if ra.Overlaps(rb) != rb.Overlaps(ra) {
+			return false
+		}
+		// If they overlap, some address is in both. Check the later
+		// start address.
+		if ra.Overlaps(rb) {
+			probe := ra.Start
+			if rb.Start > probe {
+				probe = rb.Start
+			}
+			return ra.Contains(probe) && rb.Contains(probe)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIsolationInvariantQuick: with the fixture config, no PC outside a
+// claimed code region can ever write into task A's region.
+func TestIsolationInvariantQuick(t *testing.T) {
+	m := fixture(t)
+	taskA := Region{0x4000, 0x1000}
+	proxy := Region{0x8000, 0x100}
+	f := func(pc uint32, off uint16) bool {
+		addr := taskA.Start + uint32(off)%taskA.Size
+		err := m.CheckData(pc, AccessWrite, addr, 1)
+		allowed := err == nil
+		legit := taskA.Contains(pc) || proxy.Contains(pc)
+		return allowed == legit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := fixture(t)
+	m.Reset()
+	if m.Enabled() || m.UsedSlots() != 0 {
+		t.Error("Reset did not clear the unit")
+	}
+}
+
+// TestGrantMonotonicityQuick: adding a grant-only rule never revokes an
+// access that was previously allowed — grants only ever add authority.
+func TestGrantMonotonicityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &MPU{}
+		// Random base configuration of claiming rules.
+		slots := 2 + r.Intn(6)
+		for i := 0; i < slots; i++ {
+			m.Install(i, Rule{
+				Code:  Region{uint32(r.Intn(8)) * 0x1000, 0x1000},
+				Data:  Region{uint32(8+r.Intn(8)) * 0x1000, 0x1000},
+				Perm:  Perm(1 + r.Intn(7)),
+				Owner: uint32(i),
+			})
+		}
+		m.Enable()
+
+		type probe struct {
+			pc, addr uint32
+			kind     AccessKind
+		}
+		var probes []probe
+		var before []bool
+		for i := 0; i < 60; i++ {
+			p := probe{
+				pc:   uint32(r.Intn(16)) * 0x1000,
+				addr: uint32(r.Intn(16)) * 0x1000,
+				kind: AccessKind(r.Intn(2)),
+			}
+			probes = append(probes, p)
+			before = append(before, m.CheckData(p.pc, p.kind, p.addr, 4) == nil)
+		}
+		// Add a grant-only rule.
+		m.Install(slots, Rule{
+			Code:      Region{uint32(r.Intn(16)) * 0x1000, 0x2000},
+			Data:      Region{uint32(r.Intn(16)) * 0x1000, 0x4000},
+			Perm:      Perm(1 + r.Intn(7)),
+			GrantOnly: true,
+			Owner:     99,
+		})
+		for i, p := range probes {
+			after := m.CheckData(p.pc, p.kind, p.addr, 4) == nil
+			if before[i] && !after {
+				return false // a grant revoked access
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClaimRestrictsQuick: adding a *claiming* rule never widens access
+// for code outside its Code region.
+func TestClaimRestrictsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &MPU{}
+		m.Install(0, Rule{
+			Code: Region{0x1000, 0x1000}, Data: Region{0x8000, 0x1000},
+			Perm: PermRW, Owner: 1,
+		})
+		m.Enable()
+		newRule := Rule{
+			Code: Region{0x3000, 0x1000},
+			Data: Region{uint32(r.Intn(16)) * 0x1000, 0x1000},
+			Perm: PermRW, Owner: 2,
+		}
+		// Probe from code NOT in the new rule's code region.
+		var probes []uint32
+		for i := 0; i < 40; i++ {
+			probes = append(probes, uint32(r.Intn(16))*0x1000)
+		}
+		pc := uint32(0x5000) // outside both code regions
+		var before []bool
+		for _, a := range probes {
+			before = append(before, m.CheckData(pc, AccessWrite, a, 4) == nil)
+		}
+		m.Install(1, newRule)
+		for i, a := range probes {
+			after := m.CheckData(pc, AccessWrite, a, 4) == nil
+			if !before[i] && after {
+				return false // claiming rule granted outsider access
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package firmware
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	if got := BaselineBytes(); got != 215_617 {
+		t.Errorf("baseline = %d B, want 215,617 (Table 8)", got)
+	}
+	if got := TyTANBytes(); got != 249_943 {
+		t.Errorf("tytan = %d B, want 249,943 (Table 8)", got)
+	}
+	if got := OverheadBytes(); got != 34_326 {
+		t.Errorf("overhead = %d B, want 34,326", got)
+	}
+	if got := OverheadPercent(); math.Abs(got-15.92) > 0.01 {
+		t.Errorf("overhead = %.2f%%, want 15.92%%", got)
+	}
+}
+
+func TestInventoryConsistency(t *testing.T) {
+	inv := Inventory()
+	seen := make(map[string]bool)
+	var tytanOnly int
+	for _, c := range inv {
+		if c.Bytes == 0 {
+			t.Errorf("component %q has zero size", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate component %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.TyTANOnly {
+			tytanOnly++
+		}
+	}
+	if tytanOnly != 8 {
+		t.Errorf("tytan-only components = %d, want 8", tytanOnly)
+	}
+	// Every trusted component of Figure 1 is present.
+	for _, want := range []string{"eampu driver", "int mux", "ipc proxy", "rtm task", "remote attest", "secure storage"} {
+		if !seen[want] {
+			t.Errorf("missing component %q", want)
+		}
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	c := Component{Name: "rtm task", Bytes: 6812, TyTANOnly: true}
+	s := c.String()
+	if !strings.Contains(s, "6812") || !strings.Contains(s, "TyTAN") {
+		t.Errorf("String = %q", s)
+	}
+}

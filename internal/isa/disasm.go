@@ -1,0 +1,34 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the instruction stream in b as assembler text, one
+// instruction per line, prefixed with the address of each instruction
+// (base is the address of b[0]). Undecodable trailing bytes are rendered
+// as .word directives so that a full image round-trips to readable text.
+func Disassemble(base uint32, b []byte) string {
+	var sb strings.Builder
+	addr := base
+	for len(b) > 0 {
+		in, n, err := Decode(b)
+		if err != nil || !in.Op.Valid() {
+			// Render one raw word (or the remaining bytes) and continue.
+			if len(b) >= 4 {
+				w := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+				fmt.Fprintf(&sb, "%08x:\t.word %#08x\n", addr, w)
+				b = b[4:]
+				addr += 4
+				continue
+			}
+			fmt.Fprintf(&sb, "%08x:\t.byte % x\n", addr, b)
+			break
+		}
+		fmt.Fprintf(&sb, "%08x:\t%s\n", addr, in)
+		b = b[n:]
+		addr += uint32(n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+package machine
+
+import "repro/internal/isa"
+
+// The CPU interpreter. Run executes ISA instructions at EIP, charging
+// cycles and enforcing the EA-MPU on every fetch, load and store, until
+// the budget runs out, the code traps (HLT/SVC/fault) or an interrupt
+// becomes deliverable.
+
+// fetch reads and decodes the instruction at EIP, enforcing execute
+// permission and entry-point rules.
+func (m *Machine) fetch() (isa.Instruction, *Fault) {
+	sequential := !m.branched
+	if err := m.MPU.CheckExec(m.lastPC, m.eip, sequential); err != nil {
+		return isa.Instruction{}, &Fault{PC: m.eip, Why: "instruction fetch", Wrap: err}
+	}
+	buf, err := m.ReadBytes(m.eip, 8)
+	if err != nil {
+		// Retry a 4-byte read at the very end of RAM.
+		buf, err = m.ReadBytes(m.eip, 4)
+		if err != nil {
+			return isa.Instruction{}, &Fault{PC: m.eip, Why: "instruction fetch", Wrap: err}
+		}
+	}
+	in, _, derr := isa.Decode(buf)
+	if derr != nil || !in.Op.Valid() {
+		return isa.Instruction{}, &Fault{PC: m.eip, Why: "illegal instruction"}
+	}
+	return in, nil
+}
+
+// Step executes one instruction. It returns the trap outcome: StopBudget
+// means "retired normally, keep going".
+func (m *Machine) Step() RunResult {
+	in, fault := m.fetch()
+	if fault != nil {
+		return RunResult{Reason: StopFault, Fault: fault}
+	}
+	if m.OnStep != nil {
+		m.OnStep(m.eip, in)
+	}
+	m.execPC = m.eip
+	m.lastPC = m.eip
+	m.branched = false
+	next := m.eip + in.Width()
+	cost := InstructionCost(in.Op)
+
+	fail := func(why string, err error) RunResult {
+		m.Charge(cost)
+		return RunResult{Reason: StopFault, Fault: &Fault{PC: m.lastPC, Why: why, Wrap: err}}
+	}
+	setFlags := func(a, b uint32) {
+		var f uint32
+		if a == b {
+			f |= isa.FlagZ
+		}
+		if int32(a) < int32(b) {
+			f |= isa.FlagN
+		}
+		if a < b {
+			f |= isa.FlagC
+		}
+		m.eflags = f
+	}
+	branch := func(taken bool) {
+		if taken {
+			next = m.lastPC + in.Width() + uint32(int32(in.Imm))*4
+			m.branched = true
+			cost += branchTakenExtra
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpHLT:
+		m.Charge(cost)
+		m.eip = next
+		return RunResult{Reason: StopHalt, Steps: 1}
+	case isa.OpMOV:
+		m.regs[in.Rd] = m.regs[in.Rs]
+	case isa.OpLDI:
+		m.regs[in.Rd] = uint32(int32(in.Imm))
+	case isa.OpLUI:
+		m.regs[in.Rd] = uint32(uint16(in.Imm)) << 16
+	case isa.OpLDI32:
+		m.regs[in.Rd] = in.Imm32
+	case isa.OpLD:
+		v, err := m.Read32(m.regs[in.Rs] + uint32(int32(in.Imm)))
+		if err != nil {
+			return fail("load", err)
+		}
+		m.regs[in.Rd] = v
+	case isa.OpST:
+		if err := m.Write32(m.regs[in.Rd]+uint32(int32(in.Imm)), m.regs[in.Rs]); err != nil {
+			return fail("store", err)
+		}
+	case isa.OpLDB:
+		v, err := m.Read8(m.regs[in.Rs] + uint32(int32(in.Imm)))
+		if err != nil {
+			return fail("load byte", err)
+		}
+		m.regs[in.Rd] = uint32(v)
+	case isa.OpSTB:
+		if err := m.Write8(m.regs[in.Rd]+uint32(int32(in.Imm)), byte(m.regs[in.Rs])); err != nil {
+			return fail("store byte", err)
+		}
+	case isa.OpADD:
+		m.regs[in.Rd] += m.regs[in.Rs]
+	case isa.OpSUB:
+		m.regs[in.Rd] -= m.regs[in.Rs]
+	case isa.OpAND:
+		m.regs[in.Rd] &= m.regs[in.Rs]
+	case isa.OpOR:
+		m.regs[in.Rd] |= m.regs[in.Rs]
+	case isa.OpXOR:
+		m.regs[in.Rd] ^= m.regs[in.Rs]
+	case isa.OpSHL:
+		m.regs[in.Rd] <<= m.regs[in.Rs] & 31
+	case isa.OpSHR:
+		m.regs[in.Rd] >>= m.regs[in.Rs] & 31
+	case isa.OpADDI:
+		m.regs[in.Rd] += uint32(int32(in.Imm))
+	case isa.OpMUL:
+		m.regs[in.Rd] *= m.regs[in.Rs]
+	case isa.OpCMP:
+		setFlags(m.regs[in.Rd], m.regs[in.Rs])
+	case isa.OpCMPI:
+		setFlags(m.regs[in.Rd], uint32(int32(in.Imm)))
+	case isa.OpJMP:
+		branch(true)
+	case isa.OpBEQ:
+		branch(m.eflags&isa.FlagZ != 0)
+	case isa.OpBNE:
+		branch(m.eflags&isa.FlagZ == 0)
+	case isa.OpBLT:
+		branch(m.eflags&isa.FlagN != 0)
+	case isa.OpBGE:
+		branch(m.eflags&isa.FlagN == 0)
+	case isa.OpBLTU:
+		branch(m.eflags&isa.FlagC != 0)
+	case isa.OpBGEU:
+		branch(m.eflags&isa.FlagC == 0)
+	case isa.OpJR:
+		next = m.regs[in.Rs]
+		m.branched = true
+	case isa.OpCALL, isa.OpCALLR:
+		sp := m.regs[isa.SP] - 4
+		if err := m.Write32(sp, next); err != nil {
+			return fail("call push", err)
+		}
+		m.regs[isa.SP] = sp
+		if in.Op == isa.OpCALL {
+			next = m.lastPC + in.Width() + uint32(int32(in.Imm))*4
+		} else {
+			next = m.regs[in.Rs]
+		}
+		m.branched = true
+	case isa.OpRET:
+		v, err := m.Read32(m.regs[isa.SP])
+		if err != nil {
+			return fail("ret pop", err)
+		}
+		m.regs[isa.SP] += 4
+		next = v
+		m.branched = true
+	case isa.OpPUSH:
+		sp := m.regs[isa.SP] - 4
+		if err := m.Write32(sp, m.regs[in.Rs]); err != nil {
+			return fail("push", err)
+		}
+		m.regs[isa.SP] = sp
+	case isa.OpPOP:
+		v, err := m.Read32(m.regs[isa.SP])
+		if err != nil {
+			return fail("pop", err)
+		}
+		m.regs[in.Rd] = v
+		m.regs[isa.SP] += 4
+	case isa.OpSVC:
+		m.Charge(cost)
+		m.eip = next
+		return RunResult{Reason: StopSVC, SVC: uint16(in.Imm), Steps: 1}
+	case isa.OpRDCYC:
+		m.regs[in.Rd] = uint32(m.cycles)
+	}
+
+	m.Charge(cost)
+	m.eip = next
+	return RunResult{Reason: StopBudget, Steps: 1}
+}
+
+// Run executes instructions until one of:
+//
+//   - the cycle budget is exhausted (StopBudget),
+//   - the code executes HLT (StopHalt) or SVC (StopSVC; EIP points past
+//     the SVC instruction),
+//   - a fault occurs (StopFault; EIP still points at the faulting
+//     instruction),
+//   - an interrupt becomes deliverable (StopIRQ; checked before each
+//     instruction so handler latency is bounded by one instruction).
+//
+// The budget is advisory at instruction granularity: the final
+// instruction may overshoot it by its own cost.
+func (m *Machine) Run(budget uint64) RunResult {
+	start := m.cycles
+	var steps uint64
+	for {
+		if m.InterruptDeliverable() {
+			return RunResult{Reason: StopIRQ, Steps: steps}
+		}
+		if m.cycles-start >= budget {
+			return RunResult{Reason: StopBudget, Steps: steps}
+		}
+		res := m.Step()
+		steps += res.Steps
+		if res.Reason != StopBudget {
+			res.Steps = steps
+			return res
+		}
+	}
+}
+
+// CheckExecEntry validates a software-initiated control transfer into a
+// task (used by the kernel and IPC proxy when they branch into task
+// code) without executing anything.
+func (m *Machine) CheckExecEntry(from, to uint32) error {
+	return m.MPU.CheckExec(from, to, false)
+}

@@ -1,0 +1,399 @@
+// Package machine models the simulated embedded platform: a 32-bit core
+// with a flat physical address space, memory-mapped I/O, an IDT-based
+// exception engine, an EA-MPU on the memory path, and a deterministic
+// cycle counter.
+//
+// The machine corresponds to the Intel Siskiyou Peak platform of the
+// TyTAN prototype. It is deliberately a *mechanism* layer: it executes
+// ISA code, charges cycles, checks every access against the EA-MPU and
+// raises interrupt lines — but the software side of interrupt handling
+// (the trusted Int Mux, the scheduler) lives above it in internal/rtos
+// and internal/trusted, mirroring the paper's hardware/software split.
+//
+// All results produced on this machine are deterministic: time is the
+// cycle counter, never the host clock.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/eampu"
+	"repro/internal/isa"
+)
+
+// Physical memory map.
+const (
+	// RAMBase is the first mapped RAM address. Addresses below it fault,
+	// acting as a null-pointer guard.
+	RAMBase = 0x0000_1000
+
+	// DefaultRAMSize is the default amount of mapped RAM.
+	DefaultRAMSize = 4 << 20
+
+	// IDTBase is the address of the interrupt descriptor table. The
+	// table has IDTEntries 4-byte handler slots and is protected by a
+	// locked EA-MPU rule installed during secure boot.
+	IDTBase = RAMBase
+
+	// IDTEntries is the number of interrupt vectors.
+	IDTEntries = 32
+
+	// IDTSize is the byte size of the IDT.
+	IDTSize = IDTEntries * 4
+
+	// MMIOBase is the start of the memory-mapped I/O window. Each
+	// device occupies a 256-byte page.
+	MMIOBase = 0xF000_0000
+
+	// MMIOWindow is the size of one device page.
+	MMIOWindow = 0x100
+)
+
+// Interrupt lines.
+const (
+	IRQTimer = 0 // periodic scheduler tick
+	IRQExt0  = 8 // first external line (tests, peripherals)
+	NumIRQs  = 32
+)
+
+// Context is the full CPU register state of a task — "the context of
+// the task" in the paper's terminology.
+type Context struct {
+	Regs   [isa.NumRegs]uint32
+	EIP    uint32
+	EFLAGS uint32
+}
+
+// Fault describes a CPU fault: an EA-MPU violation, an illegal
+// instruction, a misaligned or unmapped access.
+type Fault struct {
+	PC   uint32
+	Why  string
+	Wrap error
+}
+
+func (f *Fault) Error() string {
+	if f.Wrap != nil {
+		return fmt.Sprintf("machine: fault at pc %#x: %s: %v", f.PC, f.Why, f.Wrap)
+	}
+	return fmt.Sprintf("machine: fault at pc %#x: %s", f.PC, f.Why)
+}
+
+// Unwrap exposes the underlying cause (e.g. an *eampu.Violation).
+func (f *Fault) Unwrap() error { return f.Wrap }
+
+// StopReason says why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopBudget StopReason = iota // cycle budget exhausted
+	StopHalt                     // HLT executed
+	StopSVC                      // software interrupt executed
+	StopFault                    // CPU fault (EIP unchanged at faulting insn)
+	StopIRQ                      // interrupt pending and interrupts enabled
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopHalt:
+		return "halt"
+	case StopSVC:
+		return "svc"
+	case StopFault:
+		return "fault"
+	case StopIRQ:
+		return "irq"
+	default:
+		return fmt.Sprintf("stop(%d)", int(r))
+	}
+}
+
+// RunResult reports the outcome of a Run call.
+type RunResult struct {
+	Reason StopReason
+	SVC    uint16 // service number for StopSVC
+	Fault  *Fault // fault details for StopFault
+	Steps  uint64 // instructions retired
+}
+
+// Machine is the simulated platform.
+type Machine struct {
+	MPU *eampu.MPU
+
+	ram     []byte
+	cycles  uint64
+	devices map[uint32]Device // MMIO page index -> device
+	sources []IRQSource
+
+	// CPU state.
+	regs     [isa.NumRegs]uint32
+	eip      uint32
+	eflags   uint32
+	lastPC   uint32
+	branched bool
+
+	// Interrupt controller state.
+	pending    uint32
+	enabledIRQ uint32
+	intEnable  bool
+	raisedAt   [NumIRQs]uint64
+
+	// execPC is the bus-master context used for EA-MPU checks: the CPU
+	// sets it to EIP each step; native (trusted firmware) code sets it
+	// to an address inside its own code region via WithExecContext.
+	execPC uint32
+
+	// OnStep, when set, observes every retired instruction before it
+	// executes (pc, decoded form) — the simulator's instruction-trace
+	// hook. It must not mutate machine state.
+	OnStep func(pc uint32, in isa.Instruction)
+}
+
+// New creates a machine with the given amount of RAM (0 selects
+// DefaultRAMSize) and a fresh, disabled EA-MPU.
+func New(ramSize uint32) *Machine {
+	if ramSize == 0 {
+		ramSize = DefaultRAMSize
+	}
+	return &Machine{
+		MPU:        &eampu.MPU{},
+		ram:        make([]byte, ramSize),
+		devices:    make(map[uint32]Device),
+		enabledIRQ: ^uint32(0),
+	}
+}
+
+// RAMSize returns the amount of mapped RAM in bytes.
+func (m *Machine) RAMSize() uint32 { return uint32(len(m.ram)) }
+
+// RAMEnd returns the first address past mapped RAM.
+func (m *Machine) RAMEnd() uint32 { return RAMBase + uint32(len(m.ram)) }
+
+// Cycles returns the current cycle counter.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Charge advances the cycle counter by n and polls interrupt sources so
+// that device interrupts assert at the correct simulated time even while
+// native firmware code is running.
+func (m *Machine) Charge(n uint64) {
+	m.cycles += n
+	for _, s := range m.sources {
+		for {
+			line, due := s.Due(m.cycles)
+			if !due {
+				break
+			}
+			m.RaiseIRQ(line)
+		}
+	}
+}
+
+// --- Interrupt controller -------------------------------------------------
+
+// RaiseIRQ asserts an interrupt line. The assertion time is recorded so
+// the kernel can account interrupt-service latency (a real-time
+// compliance metric).
+func (m *Machine) RaiseIRQ(line int) {
+	if line >= 0 && line < NumIRQs {
+		if m.pending&(1<<uint(line)) == 0 {
+			m.raisedAt[line] = m.cycles
+		}
+		m.pending |= 1 << uint(line)
+	}
+}
+
+// RaisedAt returns the cycle at which the line was most recently
+// asserted while clear.
+func (m *Machine) RaisedAt(line int) uint64 {
+	if line < 0 || line >= NumIRQs {
+		return 0
+	}
+	return m.raisedAt[line]
+}
+
+// AckIRQ clears a pending interrupt line.
+func (m *Machine) AckIRQ(line int) {
+	if line >= 0 && line < NumIRQs {
+		m.pending &^= 1 << uint(line)
+	}
+}
+
+// SetIRQEnabled masks or unmasks one line.
+func (m *Machine) SetIRQEnabled(line int, on bool) {
+	if line < 0 || line >= NumIRQs {
+		return
+	}
+	if on {
+		m.enabledIRQ |= 1 << uint(line)
+	} else {
+		m.enabledIRQ &^= 1 << uint(line)
+	}
+}
+
+// SetInterruptsEnabled sets the global interrupt-enable flag (the
+// CPU-level IF).
+func (m *Machine) SetInterruptsEnabled(on bool) { m.intEnable = on }
+
+// InterruptsEnabled reports the global interrupt-enable flag.
+func (m *Machine) InterruptsEnabled() bool { return m.intEnable }
+
+// PendingIRQ returns the lowest-numbered pending, unmasked interrupt
+// line, if any. It does not consider the global enable flag.
+func (m *Machine) PendingIRQ() (line int, ok bool) {
+	active := m.pending & m.enabledIRQ
+	if active == 0 {
+		return 0, false
+	}
+	for i := 0; i < NumIRQs; i++ {
+		if active&(1<<uint(i)) != 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// InterruptDeliverable reports whether an interrupt should pre-empt the
+// CPU right now.
+func (m *Machine) InterruptDeliverable() bool {
+	_, ok := m.PendingIRQ()
+	return ok && m.intEnable
+}
+
+// IDTHandler reads the handler address for a vector directly from the
+// in-memory IDT (a hardware access: not EA-MPU checked — the register
+// pointing at the IDT is fixed, and the table itself is protected
+// against software writes by a locked rule).
+func (m *Machine) IDTHandler(vector int) uint32 {
+	if vector < 0 || vector >= IDTEntries {
+		return 0
+	}
+	v, err := m.RawRead32(IDTBase + uint32(vector*4))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// SetIDTHandler writes a handler address into the IDT, bypassing the
+// EA-MPU. Only secure boot uses it; software must go through the bus and
+// is stopped by the locked rule.
+func (m *Machine) SetIDTHandler(vector int, handler uint32) error {
+	if vector < 0 || vector >= IDTEntries {
+		return fmt.Errorf("machine: vector %d out of range", vector)
+	}
+	return m.RawWrite32(IDTBase+uint32(vector*4), handler)
+}
+
+// EnterInterrupt performs the hardware part of interrupt delivery for
+// the current CPU context: push EFLAGS and EIP onto the current stack,
+// clear the global interrupt-enable flag, and vector through the IDT.
+// The pushes are performed in the *interrupted code's* protection
+// context, exactly like the exception engine described in §4 (it saves
+// EIP/EFLAGS "to the stack of the interrupted task").
+//
+// It returns the handler address from the IDT; the software layers above
+// decide how to transfer control there.
+func (m *Machine) EnterInterrupt(vector int) (handler uint32, err error) {
+	m.Charge(CostHWException)
+	sp := m.regs[isa.SP]
+	// Hardware pushes bypass the MPU: the exception engine is trusted
+	// silicon. (Software cannot reach this path with a forged SP; the
+	// Int Mux validates the saved frame before any software touches it.)
+	if err := m.RawWrite32(sp-4, m.eflags); err != nil {
+		return 0, &Fault{PC: m.eip, Why: "exception push EFLAGS", Wrap: err}
+	}
+	if err := m.RawWrite32(sp-8, m.eip); err != nil {
+		return 0, &Fault{PC: m.eip, Why: "exception push EIP", Wrap: err}
+	}
+	m.regs[isa.SP] = sp - 8
+	m.intEnable = false
+	return m.IDTHandler(vector), nil
+}
+
+// ReturnFromInterrupt undoes EnterInterrupt's stack frame for the
+// current context: pop EIP and EFLAGS and re-enable interrupts.
+func (m *Machine) ReturnFromInterrupt() error {
+	sp := m.regs[isa.SP]
+	eip, err := m.RawRead32(sp)
+	if err != nil {
+		return err
+	}
+	eflags, err := m.RawRead32(sp + 4)
+	if err != nil {
+		return err
+	}
+	m.eip = eip
+	m.eflags = eflags
+	m.regs[isa.SP] = sp + 8
+	m.intEnable = true
+	return nil
+}
+
+// --- CPU state accessors ---------------------------------------------------
+
+// Reg returns the value of a general-purpose register.
+func (m *Machine) Reg(r isa.Reg) uint32 { return m.regs[r] }
+
+// SetReg sets a general-purpose register.
+func (m *Machine) SetReg(r isa.Reg, v uint32) { m.regs[r] = v }
+
+// EIP returns the instruction pointer.
+func (m *Machine) EIP() uint32 { return m.eip }
+
+// SetEIP sets the instruction pointer. The next fetch is treated as a
+// control transfer (entry-point enforcement applies).
+func (m *Machine) SetEIP(v uint32) {
+	m.eip = v
+	m.branched = true
+}
+
+// EFLAGS returns the flags register.
+func (m *Machine) EFLAGS() uint32 { return m.eflags }
+
+// SetEFLAGS sets the flags register.
+func (m *Machine) SetEFLAGS(v uint32) { m.eflags = v }
+
+// SaveContext captures the CPU register state.
+func (m *Machine) SaveContext() Context {
+	return Context{Regs: m.regs, EIP: m.eip, EFLAGS: m.eflags}
+}
+
+// LoadContext restores CPU register state saved by SaveContext. The
+// next fetch is treated as sequential execution at the restored EIP:
+// a context restore happens through the task's trusted entry routine,
+// which re-enters the region at its entry point and branches to the
+// resume address from *inside* the region, so entry-point enforcement
+// does not re-fire. (Only trusted native code can call LoadContext;
+// ISA-level control transfers always go through the checked paths.)
+func (m *Machine) LoadContext(c Context) {
+	m.regs = c.Regs
+	m.eip = c.EIP
+	m.eflags = c.EFLAGS
+	m.lastPC = c.EIP
+	m.branched = false
+}
+
+// WipeRegisters clears all general-purpose registers and flags (the Int
+// Mux does this before handing control to untrusted handlers).
+func (m *Machine) WipeRegisters() {
+	m.regs = [isa.NumRegs]uint32{}
+	m.eflags = 0
+}
+
+// WithExecContext runs fn with the bus-master protection context set to
+// pc. Trusted native components use it so that their memory accesses are
+// checked against *their* EA-MPU rules, exactly as if their code
+// executed from its assigned region.
+func (m *Machine) WithExecContext(pc uint32, fn func()) {
+	old := m.execPC
+	m.execPC = pc
+	defer func() { m.execPC = old }()
+	fn()
+}
+
+// ExecContext returns the current bus-master protection context.
+func (m *Machine) ExecContext() uint32 { return m.execPC }

@@ -1,0 +1,225 @@
+// Package remote implements the remote attestation protocol between a
+// TyTAN device and an off-device verifier over any net.Conn — the
+// "prove the integrity of its software state to another device" half
+// of §3's attestation story, as an actual wire protocol rather than an
+// in-process call.
+//
+// # Protocol
+//
+// All messages are length-prefixed frames: a 4-byte little-endian
+// length followed by a 1-byte type and the payload.
+//
+//	verifier → device  MsgChallenge: provider string, truncated task
+//	                   identity, 8-byte nonce
+//	device  → verifier MsgQuote:     wire-format quote (see
+//	                   trusted.Quote.Marshal)
+//	device  → verifier MsgError:     UTF-8 reason (unknown identity, …)
+//
+// The nonce is chosen by the verifier per challenge; a replayed quote
+// fails nonce verification. The channel needs no confidentiality: a
+// quote discloses only the (public) task identity, and its MAC can only
+// be produced by the device's Remote Attest component.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/sha1"
+	"repro/internal/trusted"
+)
+
+// Message types.
+const (
+	MsgChallenge byte = 1
+	MsgQuote     byte = 2
+	MsgError     byte = 3
+)
+
+// maxFrame bounds frame sizes against malformed peers.
+const maxFrame = 4096
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("remote: frame exceeds limit")
+	ErrBadMessage    = errors.New("remote: malformed message")
+	ErrRemote        = errors.New("remote: device reported error")
+)
+
+// writeFrame sends one framed message.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one framed message.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Challenge is a verifier's attestation request.
+type Challenge struct {
+	// Provider selects the attestation key (multi-stakeholder support).
+	Provider string
+	// TruncID identifies the task to attest (the identity the verifier
+	// derived from the published binary, truncated like the registry's
+	// index).
+	TruncID uint64
+	// Nonce is the verifier's freshness challenge.
+	Nonce uint64
+}
+
+// marshalChallenge encodes a challenge payload.
+func marshalChallenge(c Challenge) ([]byte, error) {
+	if len(c.Provider) > 255 {
+		return nil, fmt.Errorf("%w: provider name too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 1+len(c.Provider)+16)
+	out = append(out, byte(len(c.Provider)))
+	out = append(out, c.Provider...)
+	out = binary.LittleEndian.AppendUint64(out, c.TruncID)
+	out = binary.LittleEndian.AppendUint64(out, c.Nonce)
+	return out, nil
+}
+
+// unmarshalChallenge decodes a challenge payload.
+func unmarshalChallenge(b []byte) (Challenge, error) {
+	if len(b) < 1 {
+		return Challenge{}, ErrBadMessage
+	}
+	pl := int(b[0])
+	if len(b) != 1+pl+16 {
+		return Challenge{}, ErrBadMessage
+	}
+	return Challenge{
+		Provider: string(b[1 : 1+pl]),
+		TruncID:  binary.LittleEndian.Uint64(b[1+pl:]),
+		Nonce:    binary.LittleEndian.Uint64(b[1+pl+8:]),
+	}, nil
+}
+
+// Attestor is the device-side capability the server needs: resolve a
+// truncated identity and quote the task under a provider key.
+// *core.Platform satisfies it through the thin adapter below;
+// the indirection keeps this package free of a core dependency.
+type Attestor interface {
+	// QuoteByTruncID quotes the loaded task with the given truncated
+	// identity under the provider's attestation key.
+	QuoteByTruncID(provider string, trunc uint64, nonce uint64) (trusted.Quote, error)
+}
+
+// ComponentsAttestor adapts the trusted components to the Attestor
+// interface.
+type ComponentsAttestor struct {
+	C *trusted.Components
+}
+
+// QuoteByTruncID implements Attestor.
+func (a ComponentsAttestor) QuoteByTruncID(provider string, trunc, nonce uint64) (trusted.Quote, error) {
+	e, _, err := a.C.RTM.LookupByTruncID(trunc)
+	if err != nil {
+		return trusted.Quote{}, err
+	}
+	return a.C.Attest.QuoteTaskForProvider(provider, e.Task.ID, nonce)
+}
+
+// ServeOne handles a single challenge/response exchange on conn. The
+// device side calls it per connection (or in a loop for persistent
+// connections).
+func ServeOne(conn net.Conn, att Attestor) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != MsgChallenge {
+		writeFrame(conn, MsgError, []byte("expected challenge"))
+		return fmt.Errorf("%w: type %d", ErrBadMessage, typ)
+	}
+	ch, err := unmarshalChallenge(payload)
+	if err != nil {
+		writeFrame(conn, MsgError, []byte("bad challenge"))
+		return err
+	}
+	q, err := att.QuoteByTruncID(ch.Provider, ch.TruncID, ch.Nonce)
+	if err != nil {
+		writeFrame(conn, MsgError, []byte(err.Error()))
+		return nil // the protocol handled it; not a server failure
+	}
+	return writeFrame(conn, MsgQuote, q.Marshal())
+}
+
+// Serve accepts connections on l and answers one challenge per
+// connection until Accept fails (listener closed).
+func Serve(l net.Listener, att Attestor) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		err = ServeOne(conn, att)
+		conn.Close()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+	}
+}
+
+// Attest runs the verifier side of one exchange on conn: send the
+// challenge, receive the quote, verify it against the expected full
+// identity using the given verifier. It returns the verified quote.
+func Attest(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64) (trusted.Quote, error) {
+	payload, err := marshalChallenge(Challenge{
+		Provider: provider,
+		TruncID:  expected.TruncatedID(),
+		Nonce:    nonce,
+	})
+	if err != nil {
+		return trusted.Quote{}, err
+	}
+	if err := writeFrame(conn, MsgChallenge, payload); err != nil {
+		return trusted.Quote{}, err
+	}
+	typ, resp, err := readFrame(conn)
+	if err != nil {
+		return trusted.Quote{}, err
+	}
+	switch typ {
+	case MsgQuote:
+		q, err := trusted.UnmarshalQuote(resp)
+		if err != nil {
+			return trusted.Quote{}, err
+		}
+		if err := v.Verify(q, expected, nonce); err != nil {
+			return trusted.Quote{}, err
+		}
+		return q, nil
+	case MsgError:
+		return trusted.Quote{}, fmt.Errorf("%w: %s", ErrRemote, resp)
+	default:
+		return trusted.Quote{}, fmt.Errorf("%w: type %d", ErrBadMessage, typ)
+	}
+}

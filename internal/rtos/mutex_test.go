@@ -1,0 +1,198 @@
+package rtos
+
+import (
+	"testing"
+)
+
+// scriptService runs a per-step function; used to script mutex
+// scenarios deterministically.
+type scriptService struct {
+	step func(k *Kernel, self *TCB, n int) NativeStatus
+	n    int
+}
+
+func (s *scriptService) Step(k *Kernel, self *TCB, budget uint64) (uint64, NativeStatus) {
+	st := s.step(k, self, s.n)
+	s.n++
+	return 200, st
+}
+
+func TestMutexTryLockUnlock(t *testing.T) {
+	k := newKernel(t, Config{})
+	m := k.NewMutex("m")
+	a := &TCB{ID: 1, Priority: 2}
+	b := &TCB{ID: 2, Priority: 3}
+	if !m.TryLock(a) {
+		t.Fatal("first TryLock failed")
+	}
+	if m.TryLock(b) {
+		t.Fatal("second TryLock succeeded")
+	}
+	if m.Holder() != a {
+		t.Fatal("holder wrong")
+	}
+	if err := m.Unlock(b); err != ErrNotHolder {
+		t.Errorf("unlock by non-holder = %v", err)
+	}
+	if err := m.Unlock(a); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder() != nil {
+		t.Error("holder after unlock")
+	}
+	if !m.TryLock(b) {
+		t.Error("relock failed")
+	}
+	if m.Name() != "m" {
+		t.Error("name")
+	}
+}
+
+// TestMutexPriorityInheritance reproduces the classic inversion:
+// low (prio 1) holds the mutex; high (prio 6) blocks on it; medium
+// (prio 3) wants the CPU. With inheritance, low runs at 6 and finishes
+// its critical section before medium gets any time.
+func TestMutexPriorityInheritance(t *testing.T) {
+	k := newKernel(t, Config{})
+	m := k.NewMutex("shared")
+
+	var order []string
+	note := func(s string) { order = append(order, s) }
+
+	lowDone := false
+	low := &scriptService{step: func(kk *Kernel, self *TCB, n int) NativeStatus {
+		switch n {
+		case 0:
+			if !m.TryLock(self) {
+				t.Error("low could not take free mutex")
+			}
+			note("low-locked")
+			return NativeReady
+		case 1, 2:
+			note("low-critical")
+			return NativeReady // still inside the critical section
+		default:
+			note("low-unlock")
+			if err := m.Unlock(self); err != nil {
+				t.Errorf("low unlock: %v", err)
+			}
+			lowDone = true
+			return NativeDone
+		}
+	}}
+	high := &scriptService{step: func(kk *Kernel, self *TCB, n int) NativeStatus {
+		if n == 0 {
+			acq, err := m.Lock()
+			if err != nil {
+				t.Errorf("high lock: %v", err)
+			}
+			if acq {
+				t.Error("high acquired a held mutex")
+			}
+			note("high-blocked")
+			return NativeReady // ignored: Lock blocked the task
+		}
+		note("high-critical")
+		if err := m.Unlock(self); err != nil {
+			t.Errorf("high unlock: %v", err)
+		}
+		return NativeDone
+	}}
+	medium := &scriptService{step: func(kk *Kernel, self *TCB, n int) NativeStatus {
+		note("medium")
+		if n >= 2 {
+			return NativeDone
+		}
+		return NativeReady
+	}}
+
+	lowTCB, err := k.NewServiceTask("low", 1, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 600); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder() != lowTCB {
+		t.Fatalf("low does not hold the mutex yet: %v", order)
+	}
+	// Now high and medium arrive.
+	if _, err := k.NewServiceTask("high", 6, high); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.NewServiceTask("medium", 3, medium); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if !lowDone {
+		t.Fatalf("low never finished: %v", order)
+	}
+	if m.Inherits() == 0 {
+		t.Fatalf("priority inheritance never engaged: %v", order)
+	}
+	// After high blocks, every low-critical step must precede the first
+	// medium step: boosted low outranks medium.
+	firstMedium, lastLowCritical := -1, -1
+	for i, e := range order {
+		if e == "medium" && firstMedium < 0 {
+			firstMedium = i
+		}
+		if e == "low-critical" || e == "low-unlock" {
+			lastLowCritical = i
+		}
+	}
+	if firstMedium >= 0 && firstMedium < lastLowCritical {
+		t.Errorf("medium ran before low finished its critical section: %v", order)
+	}
+	// Low's priority was restored after unlock.
+	if lowTCB.Priority != 1 && lowTCB.State != StateDead {
+		t.Errorf("low priority not restored: %d", lowTCB.Priority)
+	}
+	// High eventually got the mutex and ran its critical section.
+	found := false
+	for _, e := range order {
+		if e == "high-critical" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("high never entered the critical section: %v", order)
+	}
+}
+
+func TestMutexLockOutsideTask(t *testing.T) {
+	k := newKernel(t, Config{})
+	m := k.NewMutex("x")
+	if _, err := m.Lock(); err == nil {
+		t.Error("Lock outside task context succeeded")
+	}
+}
+
+func TestMutexHandoffOrder(t *testing.T) {
+	// Waiters receive the mutex FIFO.
+	k := newKernel(t, Config{})
+	m := k.NewMutex("fifo")
+	holder := &TCB{ID: 10, Priority: 2}
+	if !m.TryLock(holder) {
+		t.Fatal("lock")
+	}
+	w1 := &TCB{ID: 11, Priority: 2, State: StateBlocked}
+	w2 := &TCB{ID: 12, Priority: 2, State: StateBlocked}
+	m.waiters = []*TCB{w1, w2}
+	m.basePriority = holder.Priority
+	if err := m.Unlock(holder); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder() != w1 {
+		t.Errorf("holder = %v, want w1", m.Holder())
+	}
+	if err := m.Unlock(w1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder() != w2 {
+		t.Errorf("holder = %v, want w2", m.Holder())
+	}
+}

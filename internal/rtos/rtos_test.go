@@ -1,0 +1,1070 @@
+package rtos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+	"repro/internal/telf"
+)
+
+func newKernel(t *testing.T, cfg Config) *Kernel {
+	t.Helper()
+	m := machine.New(4 << 20)
+	m.MapDevice(machine.PageUART, machine.NewUART())
+	k, err := NewKernel(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func mustImage(t *testing.T, src string) *telf.Image {
+	t.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func uart(t *testing.T, k *Kernel) *machine.UART {
+	t.Helper()
+	d, ok := k.Device(machine.PageUART)
+	if !ok {
+		t.Fatal("no uart")
+	}
+	return d.(*machine.UART)
+}
+
+func TestCreateAndRunSingleTask(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "t"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 65   ; 'A'
+    svc 5
+    svc 1
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcb.State != StateReady {
+		t.Errorf("state = %v", tcb.State)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := uart(t, k).String(); got != "A" {
+		t.Errorf("uart = %q, want %q", got, "A")
+	}
+	if _, ok := k.Task(tcb.ID); ok {
+		t.Error("exited task still registered")
+	}
+	if k.Alloc.LiveCount() != 0 {
+		t.Error("task memory not reclaimed")
+	}
+}
+
+func TestPriorityPreemptsLower(t *testing.T) {
+	k := newKernel(t, Config{})
+	// Low-priority busy task prints 'l' every loop; high-priority task
+	// delayed, then prints 'H' and exits. With priorities respected, 'H'
+	// appears in the output even though 'l' loops forever.
+	low := mustImage(t, `
+.task "low"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 108   ; 'l'
+loop:
+    svc 5
+    jmp loop
+`)
+	high := mustImage(t, `
+.task "high"
+.entry main
+.stack 128
+.text
+main:
+    ldi r0, 20000
+    svc 2          ; delay
+    ldi r1, 72     ; 'H'
+    svc 5
+    svc 1
+`)
+	if _, err := k.CreateTaskFromImage(low, KindNormal, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTaskFromImage(high, KindNormal, 5); err != nil {
+		t.Fatal(err)
+	}
+	k.StartTick()
+	if err := k.RunUntil(200_000); err != nil {
+		t.Fatal(err)
+	}
+	out := uart(t, k).String()
+	if !strings.Contains(out, "H") {
+		t.Errorf("high-priority task never ran: %q", out[:min(len(out), 40)])
+	}
+	if !strings.Contains(out, "l") {
+		t.Error("low-priority task never ran")
+	}
+	// After the delay expired, H pre-empted the low task promptly: the
+	// last chars before H must be l's, and output resumes with l after.
+	i := strings.Index(out, "H")
+	if i == 0 {
+		t.Error("low task should run first while high sleeps")
+	}
+}
+
+func TestRoundRobinWithinPriority(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 5_000})
+	for c := 0; c < 3; c++ {
+		im := mustImage(t, `
+.task "rr"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, `+itoa('a'+c)+`
+loop:
+    svc 5
+    svc 0          ; yield
+    jmp loop
+`)
+		if _, err := k.CreateTaskFromImage(im, KindNormal, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.StartTick()
+	if err := k.RunUntil(300_000); err != nil {
+		t.Fatal(err)
+	}
+	out := uart(t, k).String()
+	for _, want := range []string{"a", "b", "c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("task %q starved; output %q", want, out[:min(len(out), 60)])
+		}
+	}
+	// Yield-based round robin: no task prints twice in a row.
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			t.Fatalf("no round robin at %d: %q", i, out[:i+1])
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDelayWakesOnTime(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "sleeper"
+.entry main
+.stack 128
+.text
+main:
+    ldi r0, 10000
+    svc 2
+    ldi r1, 87    ; 'W'
+    svc 5
+    svc 1
+`)
+	if _, err := k.CreateTaskFromImage(im, KindNormal, 3); err != nil {
+		t.Fatal(err)
+	}
+	start := k.M.Cycles()
+	if err := k.RunUntil(start + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if uart(t, k).String() != "W" {
+		t.Fatal("sleeper never woke")
+	}
+	// It must have woken no earlier than the delay.
+	if k.M.Cycles() < start+10_000 {
+		t.Error("woke too early")
+	}
+}
+
+func TestTickPreemptsBusyTask(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	im := mustImage(t, `
+.task "busy"
+.entry main
+.stack 128
+.text
+main:
+loop:
+    jmp loop
+`)
+	if _, err := k.CreateTaskFromImage(im, KindNormal, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.StartTick()
+	if err := k.RunUntil(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Ticks() < 8 {
+		t.Errorf("ticks = %d, want ≈9 over 100k cycles at 10k period", k.Ticks())
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "s"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 120   ; 'x'
+loop:
+    svc 5
+    svc 0
+    jmp loop
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Quiesce()
+	n1 := len(uart(t, k).String())
+	if n1 == 0 {
+		t.Fatal("task never ran")
+	}
+	if err := k.Suspend(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if tcb.State != StateSuspended {
+		t.Errorf("state = %v", tcb.State)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if n2 := len(uart(t, k).String()); n2 != n1 {
+		t.Errorf("suspended task kept printing: %d -> %d", n1, n2)
+	}
+	if err := k.Resume(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if n3 := len(uart(t, k).String()); n3 <= n1 {
+		t.Error("resumed task did not continue")
+	}
+}
+
+func TestSuspendPreservesContext(t *testing.T) {
+	// A task counts in r2; suspend/resume across a quiesce must not
+	// lose the register.
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "count"
+.entry main
+.stack 128
+.text
+main:
+    ldi r2, 0
+loop:
+    addi r2, 1
+    ldi r1, 46   ; '.'
+    svc 5
+    svc 0
+    jmp loop
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := k.RunUntil(k.M.Cycles() + 5_000); err != nil {
+			t.Fatal(err)
+		}
+		k.Quiesce()
+		if err := k.Suspend(tcb.ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Resume(tcb.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunUntil(k.M.Cycles() + 5_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Quiesce()
+	dots := len(uart(t, k).String())
+	// Counter in the saved frame must match the printed dots (r2 is
+	// incremented once per print).
+	v, err := k.M.Read32(tcb.SavedSP + 2*4) // r2 slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(v) != dots {
+		t.Errorf("saved r2 = %d, dots printed = %d", v, dots)
+	}
+}
+
+func TestUnload(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "u"
+.entry main
+.stack 128
+.text
+main:
+loop:
+    jmp loop
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unload(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unload(tcb.ID); err != ErrNoSuchTask {
+		t.Errorf("double unload = %v", err)
+	}
+	if k.Alloc.LiveCount() != 0 {
+		t.Error("memory not reclaimed")
+	}
+}
+
+func TestFaultingTaskIsKilledOthersSurvive(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	bad := mustImage(t, `
+.task "bad"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 0
+    ld r0, [r1+0]   ; null deref
+    svc 1
+`)
+	good := mustImage(t, `
+.task "good"
+.entry main
+.stack 128
+.text
+main:
+    ldi r0, 30000
+    svc 2
+    ldi r1, 71   ; 'G'
+    svc 5
+    svc 1
+`)
+	if _, err := k.CreateTaskFromImage(bad, KindNormal, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTaskFromImage(good, KindNormal, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.StartTick()
+	if err := k.RunUntil(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := uart(t, k).String(); got != "G" {
+		t.Errorf("uart = %q; fault isolation broken", got)
+	}
+}
+
+func TestUnknownSyscallKillsTask(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "rogue"
+.entry main
+.stack 128
+.text
+main:
+    svc 999
+    ldi r1, 33
+    svc 5
+    svc 1
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Task(tcb.ID); ok {
+		t.Error("rogue task survived unknown svc")
+	}
+	if uart(t, k).String() != "" {
+		t.Error("task continued past unknown svc")
+	}
+}
+
+func TestGetTimeSyscall(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "time"
+.entry main
+.stack 128
+.text
+main:
+    svc 6
+    mov r3, r0
+    hlt
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tcb
+	if err := k.RunUntil(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	// The task read a nonzero cycle count (creation alone costs >200k;
+	// but we capped RunUntil — r3 ends up in the dead TCB's last state;
+	// instead just check the kernel made progress).
+	if k.M.Cycles() == 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+// --- service tasks -----------------------------------------------------
+
+// countingService counts steps and optionally blocks after each.
+type countingService struct {
+	steps int
+	work  int // pending work items
+}
+
+func (c *countingService) HasWork() bool { return c.work > 0 }
+
+func (c *countingService) Step(k *Kernel, self *TCB, budget uint64) (uint64, NativeStatus) {
+	c.steps++
+	if c.work > 0 {
+		c.work--
+	}
+	if c.work == 0 {
+		return 500, NativeIdle
+	}
+	return 500, NativeReady
+}
+
+func TestServiceTaskDrainsWorkAndBlocks(t *testing.T) {
+	k := newKernel(t, Config{})
+	svc := &countingService{work: 3}
+	tcb, err := k.NewServiceTask("svc", 4, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if svc.steps != 3 {
+		t.Errorf("steps = %d, want 3", svc.steps)
+	}
+	if tcb.State != StateBlocked {
+		t.Errorf("state = %v, want blocked", tcb.State)
+	}
+	// New work wakes it.
+	svc.work = 2
+	k.WakeService(tcb)
+	if err := k.RunUntil(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if svc.steps != 5 {
+		t.Errorf("steps = %d, want 5", svc.steps)
+	}
+}
+
+type doneService struct{}
+
+func (doneService) Step(k *Kernel, self *TCB, budget uint64) (uint64, NativeStatus) {
+	return 100, NativeDone
+}
+
+func TestServiceTaskDone(t *testing.T) {
+	k := newKernel(t, Config{})
+	tcb, err := k.NewServiceTask("once", 4, doneService{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Task(tcb.ID); ok {
+		t.Error("done service still registered")
+	}
+}
+
+// --- queues and timers ---------------------------------------------------
+
+func TestQueueSendReceive(t *testing.T) {
+	k := newKernel(t, Config{})
+	q, err := k.NewQueue("q", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Send(1) || !q.Send(2) {
+		t.Fatal("send failed")
+	}
+	if q.Send(3) {
+		t.Error("send to full queue succeeded")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d", q.Drops())
+	}
+	v, ok := q.Receive()
+	if !ok || v != 1 {
+		t.Errorf("receive = (%d, %v)", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Errorf("len = %d", q.Len())
+	}
+	if _, err := k.NewQueue("bad", 0); err != ErrQueueCapacity {
+		t.Errorf("zero capacity = %v", err)
+	}
+}
+
+func TestSoftTimerPeriodic(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	fired := 0
+	st := k.NewSoftTimer("beat", 20_000, true, func(*Kernel) { fired++ })
+	k.StartTick()
+	if err := k.RunUntil(105_000); err != nil {
+		t.Fatal(err)
+	}
+	if fired < 4 || fired > 5 {
+		t.Errorf("fired = %d, want ≈5 in 105k cycles at 20k period", fired)
+	}
+	st.Stop()
+	before := fired
+	if err := k.RunUntil(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if fired != before {
+		t.Error("stopped timer kept firing")
+	}
+}
+
+func TestSoftTimerOneShot(t *testing.T) {
+	k := newKernel(t, Config{})
+	fired := 0
+	st := k.NewSoftTimer("once", 5_000, false, func(*Kernel) { fired++ })
+	if err := k.RunUntil(50_000); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if st.Active() {
+		t.Error("one-shot still active")
+	}
+}
+
+// --- configuration and guards ---------------------------------------------
+
+func TestSecureTaskRequiresTyTAN(t *testing.T) {
+	k := newKernel(t, Config{}) // baseline
+	im := mustImage(t, ".task \"s\"\n.entry e\n.text\ne:\n hlt\n")
+	if _, err := k.CreateTaskFromImage(im, KindSecure, 2); err == nil {
+		t.Error("secure task created on baseline kernel")
+	}
+}
+
+func TestBadPriority(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, ".text\ne:\n hlt\n")
+	if _, err := k.CreateTaskFromImage(im, KindNormal, NumPriorities); err != ErrBadPriority {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := k.NewServiceTask("x", -1, doneService{}); err != ErrBadPriority {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTaskPoolBounds(t *testing.T) {
+	m := machine.New(64 << 10)
+	if _, err := NewKernel(m, Config{TaskPoolBase: 0x1000, TaskPoolSize: 1 << 20}); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestIdleAdvancesToTick(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	k.StartTick()
+	if err := k.RunUntil(35_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Ticks() < 3 {
+		t.Errorf("ticks = %d, want ≥3 (idle must advance to tick)", k.Ticks())
+	}
+}
+
+func TestRunUntilNoWorkReturns(t *testing.T) {
+	k := newKernel(t, Config{}) // no tick, no tasks
+	if err := k.RunUntil(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	// Must return promptly (no livelock) with cycles unchanged-ish.
+	if k.M.Cycles() > 1000 {
+		t.Errorf("idle kernel burned %d cycles", k.M.Cycles())
+	}
+}
+
+func TestCPUAccountingPerTask(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	im := mustImage(t, `
+.task "burn"
+.entry main
+.stack 128
+.text
+main:
+loop:
+    jmp loop
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.StartTick()
+	if err := k.RunUntil(k.M.Cycles() + 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if tcb.CPUCycles < 50_000 {
+		t.Errorf("CPUCycles = %d, want most of 100k", tcb.CPUCycles)
+	}
+	if tcb.Activations < 5 {
+		t.Errorf("Activations = %d", tcb.Activations)
+	}
+}
+
+// --- additional scheduler coverage -----------------------------------------
+
+type queueDrainService struct {
+	q    *Queue
+	got  []uint32
+	idle bool
+}
+
+func (s *queueDrainService) HasWork() bool { return s.q.Len() > 0 }
+
+func (s *queueDrainService) Step(k *Kernel, self *TCB, budget uint64) (uint64, NativeStatus) {
+	v, ok := s.q.Receive()
+	if !ok {
+		return 100, NativeIdle
+	}
+	s.got = append(s.got, v)
+	if s.q.Len() == 0 {
+		return 300, NativeIdle
+	}
+	return 300, NativeReady
+}
+
+func TestQueueWakesBlockedService(t *testing.T) {
+	k := newKernel(t, Config{})
+	q, err := k.NewQueue("work", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &queueDrainService{q: q}
+	tcb, err := k.NewServiceTask("drain", 4, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if tcb.State != StateBlocked {
+		t.Fatalf("drain not blocked: %v", tcb.State)
+	}
+	for _, v := range []uint32{10, 20, 30} {
+		q.Send(v)
+	}
+	k.WakeService(tcb)
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.got) != 3 || svc.got[0] != 10 || svc.got[2] != 30 {
+		t.Errorf("drained = %v", svc.got)
+	}
+}
+
+func TestPreemptionAtSyscallBoundary(t *testing.T) {
+	// A low-priority task delays; when its wake readies it while an
+	// equal task syscalls, the scheduler must not let the syscalling
+	// task monopolize. Stronger: a HIGH priority task readied by a
+	// syscall side effect preempts immediately (covered by IPC tests);
+	// here we verify the round-trip fairness under frequent syscalls.
+	k := newKernel(t, Config{TickPeriod: 8_000})
+	chatty := mustImage(t, `
+.task "chatty"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 99   ; 'c'
+loop:
+    svc 5
+    jmp loop
+`)
+	quiet := mustImage(t, `
+.task "quiet"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, 113  ; 'q'
+loop:
+    svc 5
+    ldi r0, 4000
+    svc 2
+    jmp loop
+`)
+	if _, err := k.CreateTaskFromImage(chatty, KindNormal, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTaskFromImage(quiet, KindNormal, 5); err != nil {
+		t.Fatal(err)
+	}
+	k.StartTick()
+	if err := k.RunUntil(k.M.Cycles() + 200_000); err != nil {
+		t.Fatal(err)
+	}
+	out := uart(t, k).String()
+	qs := strings.Count(out, "q")
+	if qs < 20 {
+		t.Errorf("high-priority quiet ran %d times; starved by syscall-heavy task", qs)
+	}
+}
+
+func TestDelayZeroIsYieldLike(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "z"
+.entry main
+.stack 128
+.text
+main:
+    ldi r0, 0
+    svc 2       ; zero delay: becomes ready immediately
+    ldi r1, 90  ; 'Z'
+    svc 5
+    svc 1
+`)
+	if _, err := k.CreateTaskFromImage(im, KindNormal, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if uart(t, k).String() != "Z" {
+		t.Errorf("output %q", uart(t, k).String())
+	}
+}
+
+func TestManyTasksAllRun(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 5_000})
+	const n = 12
+	for i := 0; i < n; i++ {
+		im := mustImage(t, `
+.task "m`+itoa(i)+`"
+.entry main
+.stack 128
+.text
+main:
+    ldi r1, `+itoa('A'+i)+`
+    svc 5
+    svc 1
+`)
+		if _, err := k.CreateTaskFromImage(im, KindNormal, 1+i%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.StartTick()
+	if err := k.RunUntil(k.M.Cycles() + 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	out := uart(t, k).String()
+	if len(out) != n {
+		t.Fatalf("output = %q, want %d distinct prints", out, n)
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < len(out); i++ {
+		if seen[out[i]] {
+			t.Fatalf("task %c ran twice", out[i])
+		}
+		seen[out[i]] = true
+	}
+	if k.Alloc.LiveCount() != 0 {
+		t.Error("memory leak after all tasks exited")
+	}
+}
+
+func TestQueueReceiveOrBlockNonTask(t *testing.T) {
+	k := newKernel(t, Config{})
+	q, _ := k.NewQueue("x", 1)
+	// No current task: must not block, just report empty.
+	v, ok, err := q.ReceiveOrBlock()
+	if err != nil || ok || v != 0 {
+		t.Errorf("ReceiveOrBlock idle = (%d, %v, %v)", v, ok, err)
+	}
+	q.Send(9)
+	v, ok, err = q.ReceiveOrBlock()
+	if err != nil || !ok || v != 9 {
+		t.Errorf("ReceiveOrBlock = (%d, %v, %v)", v, ok, err)
+	}
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	for k, want := range map[TaskKind]string{
+		KindNormal: "normal", KindSecure: "secure", KindService: "service", TaskKind(9): "kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("TaskKind(%d) = %q", int(k), k.String())
+		}
+	}
+	for s, want := range map[TaskState]string{
+		StateReady: "ready", StateRunning: "running", StateBlocked: "blocked",
+		StateSuspended: "suspended", StateDead: "dead", TaskState(9): "state(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("TaskState(%d) = %q", int(s), s.String())
+		}
+	}
+
+	k := newKernel(t, Config{})
+	im := mustImage(t, ".task \"acc\"\n.entry e\n.stack 128\n.text\ne:\n jmp e\n")
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Tasks()) != 1 || k.Tasks()[0] != tcb {
+		t.Error("Tasks accessor")
+	}
+	if k.Current() != nil {
+		t.Error("Current before run")
+	}
+	if err := k.RunUntil(k.M.Cycles() + 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Switches() == 0 {
+		t.Error("Switches accessor")
+	}
+	q, _ := k.NewQueue("named", 1)
+	if q.Name() != "named" {
+		t.Error("queue name")
+	}
+	st := k.NewSoftTimer("st", 100, false, func(*Kernel) {})
+	if st.Name() != "st" || st.Fired() != 0 {
+		t.Error("timer accessors")
+	}
+}
+
+func TestBlockUnblockCurrent(t *testing.T) {
+	// A task blocks via an IPC-style wait; Unblock with EntryMessage
+	// resumes it with the info visible.
+	k := newKernel(t, Config{})
+	blocked := false
+	var target *TCB
+	k.Syscalls = syscallFunc(func(k *Kernel, t *TCB, svc uint16) bool {
+		if svc != 40 {
+			return false
+		}
+		target = t
+		blocked = true
+		k.BlockCurrent()
+		return true
+	})
+	im := mustImage(t, `
+.task "waiter"
+.entry main
+.stack 128
+.text
+main:
+    svc 40         ; custom blocking call
+    ldi r1, 87     ; 'W' printed after unblock
+    svc 5
+    svc 1
+`)
+	if _, err := k.CreateTaskFromImage(im, KindNormal, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if !blocked || target.State != StateBlocked {
+		t.Fatalf("task not blocked: %v", target)
+	}
+	if uart(t, k).String() != "" {
+		t.Fatal("task ran past block")
+	}
+	k.Unblock(target, EntryResumed)
+	// Unblocking a non-blocked task is a no-op.
+	k.Unblock(target, EntryResumed)
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if uart(t, k).String() != "W" {
+		t.Errorf("output = %q", uart(t, k).String())
+	}
+}
+
+// syscallFunc adapts a function to SyscallHandler.
+type syscallFunc func(*Kernel, *TCB, uint16) bool
+
+func (f syscallFunc) HandleSyscall(k *Kernel, t *TCB, svc uint16) bool { return f(k, t, svc) }
+
+func TestSuspendBlockedAndReadyTasks(t *testing.T) {
+	k := newKernel(t, Config{})
+	im := mustImage(t, `
+.task "s2"
+.entry main
+.stack 128
+.text
+main:
+    ldi r0, 50
+    svc 2
+    jmp main
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suspend while Ready (never ran).
+	if err := k.Suspend(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if tcb.State != StateSuspended {
+		t.Errorf("state = %v", tcb.State)
+	}
+	if err := k.Resume(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Resume of a non-suspended task is a no-op.
+	if err := k.Resume(tcb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Suspend(999); err != ErrNoSuchTask {
+		t.Errorf("suspend missing = %v", err)
+	}
+	if err := k.Resume(999); err != ErrNoSuchTask {
+		t.Errorf("resume missing = %v", err)
+	}
+}
+
+func TestSemaphoreBasics(t *testing.T) {
+	k := newKernel(t, Config{})
+	s := k.NewSemaphore("sem", 1, 2)
+	if s.Name() != "sem" || s.Count() != 1 {
+		t.Error("constructor")
+	}
+	if !s.TryTake() {
+		t.Error("take with count 1")
+	}
+	if s.TryTake() {
+		t.Error("take with count 0")
+	}
+	if !s.Give() || !s.Give() {
+		t.Error("gives under ceiling")
+	}
+	if s.Give() {
+		t.Error("give past ceiling accepted")
+	}
+	if s.Count() != 2 {
+		t.Errorf("count = %d", s.Count())
+	}
+	// Negative initial clamps to zero; unbounded ceiling.
+	u := k.NewSemaphore("u", -5, 0)
+	if u.Count() != 0 {
+		t.Error("negative initial")
+	}
+	for i := 0; i < 100; i++ {
+		if !u.Give() {
+			t.Fatal("unbounded give refused")
+		}
+	}
+}
+
+func TestSemaphoreWakesBlockedTask(t *testing.T) {
+	k := newKernel(t, Config{})
+	s := k.NewSemaphore("work", 0, 0)
+	k.Syscalls = syscallFunc(func(k *Kernel, t *TCB, svc uint16) bool {
+		if svc != 41 {
+			return false
+		}
+		s.Take()
+		return true
+	})
+	im := mustImage(t, `
+.task "taker"
+.entry main
+.stack 128
+.text
+main:
+    svc 41
+    ldi r1, 84    ; 'T'
+    svc 5
+    svc 1
+`)
+	tcb, err := k.CreateTaskFromImage(im, KindNormal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(k.M.Cycles() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if tcb.State != StateBlocked {
+		t.Fatalf("taker not blocked: %v", tcb.State)
+	}
+	if !s.Give() {
+		t.Fatal("give")
+	}
+	if err := k.RunUntil(k.M.Cycles() + 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if uart(t, k).String() != "T" {
+		t.Errorf("output = %q", uart(t, k).String())
+	}
+}
+
+func TestIdleAndUtilization(t *testing.T) {
+	k := newKernel(t, Config{TickPeriod: 10_000})
+	k.StartTick()
+	// No tasks: nearly all idle.
+	if err := k.RunUntil(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.IdleCycles() < 90_000 {
+		t.Errorf("idle = %d, want most of 100k", k.IdleCycles())
+	}
+	if u := k.Utilization(); u > 0.1 {
+		t.Errorf("utilization = %.2f, want near 0", u)
+	}
+}

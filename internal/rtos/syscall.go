@@ -1,0 +1,69 @@
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Kernel-handled SVC numbers. The trusted layer registers additional
+// services (IPC, attestation, storage) through the SyscallHandler hook;
+// numbers ≥ SVCUserBase are reserved for it.
+const (
+	SVCYield   = 0 // give up the CPU to equal-priority peers
+	SVCExit    = 1 // terminate the calling task
+	SVCDelay   = 2 // r0 = cycles to sleep
+	SVCPutChar = 5 // r1 = byte to transmit on the UART
+	SVCGetTime = 6 // returns cycle counter in r0 (low) / r1 (high)
+
+	// SVCUserBase is the first SVC number delegated to the trusted
+	// layer's SyscallHandler.
+	SVCUserBase = 16
+)
+
+// handleSyscall services an SVC trap from the current ISA task. The
+// task's context is live; handlers read arguments straight from the
+// registers, exactly like the register-based calling convention of the
+// paper's IPC.
+func (k *Kernel) handleSyscall(t *TCB, svc uint16) error {
+	switch svc {
+	case SVCYield:
+		return k.YieldCurrent()
+	case SVCExit:
+		k.trace(fmt.Sprintf("task %d %q exited", t.ID, t.Name))
+		k.current = nil
+		k.ctxLive = false
+		k.removeTask(t)
+		return nil
+	case SVCDelay:
+		return k.DelayCurrent(uint64(k.M.Reg(isa.R0)))
+	case SVCPutChar:
+		if d, ok := k.Device(machine.PageUART); ok {
+			d.Write(machine.UARTRegTx, k.M.Reg(isa.R1))
+		}
+		k.M.Charge(4)
+		return nil
+	case SVCGetTime:
+		c := k.M.Cycles()
+		k.M.SetReg(isa.R0, uint32(c))
+		k.M.SetReg(isa.R1, uint32(c>>32))
+		k.M.Charge(2)
+		return nil
+	}
+	if k.Syscalls != nil && k.Syscalls.HandleSyscall(k, t, svc) {
+		return nil
+	}
+	// Unknown service: the task is misbehaving; kill it. Isolation means
+	// this cannot harm anyone else.
+	k.trace(fmt.Sprintf("task %d %q: unknown svc %d, killed", t.ID, t.Name, svc))
+	k.current = nil
+	k.ctxLive = false
+	k.removeTask(t)
+	return nil
+}
+
+// Device is a convenience accessor for a mapped device page.
+func (k *Kernel) Device(page uint32) (machine.Device, bool) {
+	return k.M.Device(page)
+}

@@ -1,0 +1,327 @@
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/machine"
+	"repro/internal/telf"
+)
+
+// spReg is the stack-pointer register.
+const spReg = isa.SP
+
+// contextFrameWords is the size of a saved context frame in words:
+// r0..r7 pushed by software plus EIP and EFLAGS pushed by the exception
+// engine.
+const contextFrameWords = isa.NumRegs + 2
+
+// contextFrameBytes is the frame size in bytes.
+const contextFrameBytes = contextFrameWords * 4
+
+// NewServiceTask registers a trusted native service as a schedulable
+// task. Service tasks are secure tasks whose code runs natively; they
+// have no ISA context.
+func (k *Kernel) NewServiceTask(name string, prio int, svc Service) (*TCB, error) {
+	if prio < 0 || prio >= NumPriorities {
+		return nil, ErrBadPriority
+	}
+	t := &TCB{
+		ID:       k.allocID(),
+		Name:     name,
+		Kind:     KindService,
+		Priority: prio,
+		Service:  svc,
+	}
+	k.tasks[t.ID] = t
+	k.taskOrder = append(k.taskOrder, t)
+	if t.serviceRunnable() {
+		k.enqueue(t)
+	} else {
+		t.State = StateBlocked
+	}
+	return t, nil
+}
+
+func (k *Kernel) allocID() TaskID {
+	k.nextID++
+	return k.nextID
+}
+
+// PrepareStack writes the initial context frame at the top of the
+// task's stack — "the OS prepares the stack of this task as if it had
+// been executed before and was interrupted" (§4) — and returns the
+// cycle cost (charged by the caller so creation phases can be accounted
+// separately).
+func (k *Kernel) PrepareStack(p loader.Placement) (savedSP uint32, cost uint64, err error) {
+	top := p.StackTop()
+	savedSP = top - contextFrameBytes
+	frame := make([]uint32, contextFrameWords)
+	frame[isa.NumRegs] = p.EntryAddr() // EIP
+	frame[isa.NumRegs+1] = 0           // EFLAGS
+	for i, w := range frame {
+		if err := k.M.RawWrite32(savedSP+uint32(i*4), w); err != nil {
+			return 0, 0, err
+		}
+	}
+	return savedSP, uint64(contextFrameWords) * machine.CostStackPrepWord, nil
+}
+
+// InstallTask registers an already-loaded ISA task with the scheduler:
+// stack preparation, TCB initialization and ready-list insertion (steps
+// 3 and 6 of the paper's loading sequence; the caller interleaves steps
+// 4 and 5 — EA-MPU configuration and measurement — through the trusted
+// layer). The returned TCB is ready to run.
+func (k *Kernel) InstallTask(name string, kind TaskKind, prio int, p loader.Placement) (*TCB, error) {
+	t, err := k.InstallTaskSuspended(name, kind, prio, p)
+	if err != nil {
+		return nil, err
+	}
+	k.enqueue(t)
+	return t, nil
+}
+
+// InstallTaskSuspended performs InstallTask's work but leaves the task
+// in StateSuspended — loaded but not yet executable. The TyTAN loader
+// uses it so the EA-MPU configuration and the RTM measurement (steps 4
+// and 5) happen while the task provably cannot run, then calls Resume
+// (step 6, "the OS is notified to schedule t").
+func (k *Kernel) InstallTaskSuspended(name string, kind TaskKind, prio int, p loader.Placement) (*TCB, error) {
+	if prio < 0 || prio >= NumPriorities {
+		return nil, ErrBadPriority
+	}
+	if kind == KindService {
+		return nil, fmt.Errorf("rtos: InstallTask is for ISA tasks; use NewServiceTask")
+	}
+	if kind == KindSecure && !k.Cfg.TyTAN {
+		return nil, fmt.Errorf("rtos: secure tasks require the TyTAN configuration")
+	}
+	savedSP, prepCost, err := k.PrepareStack(p)
+	if err != nil {
+		return nil, err
+	}
+	k.M.Charge(prepCost + machine.CostTCBInit)
+	t := &TCB{
+		ID:        k.allocID(),
+		Name:      name,
+		Kind:      kind,
+		Priority:  prio,
+		Placement: p,
+		EntryAddr: p.EntryAddr(),
+		StackTop:  p.StackTop(),
+		SavedSP:   savedSP,
+		EntryInfo: EntryFreshStart,
+		State:     StateSuspended,
+	}
+	t.MPUOwner = uint32(t.ID)
+	k.tasks[t.ID] = t
+	k.taskOrder = append(k.taskOrder, t)
+	k.M.Charge(machine.CostSchedulerAdd)
+	k.trace(fmt.Sprintf("task %d %q installed (%s, prio %d) at %#x", t.ID, name, kind, prio, p.Base))
+	return t, nil
+}
+
+// CreateTaskFromImage performs the complete, *non-interruptible* load
+// path used by the unmodified-FreeRTOS baseline (and by benchmarks
+// measuring raw creation cost): allocate, stream, relocate, prepare,
+// schedule. The TyTAN path (interruptible, with EA-MPU and measurement
+// interleaved) lives in internal/core.
+func (k *Kernel) CreateTaskFromImage(im *telf.Image, kind TaskKind, prio int) (*TCB, error) {
+	base, scanned, err := k.Alloc.Alloc(loader.PlacedSize(im))
+	if err != nil {
+		return nil, err
+	}
+	k.M.Charge(machine.CostAllocBase + uint64(scanned)*machine.CostAllocPerRegion)
+	job := loader.NewJob(k.M, im, base)
+	cost, err := job.Run()
+	k.M.Charge(cost)
+	if err != nil {
+		k.Alloc.Free(base)
+		return nil, err
+	}
+	t, err := k.InstallTask(im.Name, kind, prio, job.Placement())
+	if err != nil {
+		k.Alloc.Free(base)
+		return nil, err
+	}
+	return t, nil
+}
+
+// removeTask deletes t from the kernel: hooks, memory reclamation,
+// scheduler cleanup ("Unloading a task requires deleting it from the OS
+// scheduler and reclaiming its memory", §4).
+func (k *Kernel) removeTask(t *TCB) {
+	if t.State == StateDead {
+		return
+	}
+	if k.Hooks != nil {
+		k.Hooks.TaskExiting(k, t)
+	}
+	k.M.Charge(machine.CostTaskExitClean)
+	k.removeFromReady(t)
+	if t.IsISA() && t.Placement.Image != nil {
+		if _, ok := k.Alloc.SizeOf(t.Placement.Base); ok {
+			k.Alloc.Free(t.Placement.Base)
+		}
+	}
+	t.State = StateDead
+	if k.current == t {
+		k.current = nil
+		k.ctxLive = false
+	}
+	delete(k.tasks, t.ID)
+	for i, x := range k.taskOrder {
+		if x == t {
+			k.taskOrder = append(k.taskOrder[:i], k.taskOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Unload kills a task by ID (the dynamic unloading of §4).
+func (k *Kernel) Unload(id TaskID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return ErrNoSuchTask
+	}
+	if k.current == t && t.IsISA() && k.ctxLive {
+		// Park the context first so the stack frame is consistent (the
+		// memory is about to be reclaimed anyway, but hooks may hash it).
+		k.ctxLive = false
+	}
+	k.removeTask(t)
+	return nil
+}
+
+// Suspend stops a task from being scheduled until Resume. Suspending
+// the current task parks its context.
+func (k *Kernel) Suspend(id TaskID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return ErrNoSuchTask
+	}
+	k.M.Charge(machine.CostSuspendResume)
+	if k.current == t {
+		if err := k.parkCurrentContext(); err != nil {
+			return err
+		}
+		k.current = nil
+	}
+	if t.State == StateDead {
+		return ErrDeadTask
+	}
+	k.removeFromReady(t)
+	t.State = StateSuspended
+	t.EntryInfo = EntryResumed
+	return nil
+}
+
+// Resume makes a suspended task schedulable again.
+func (k *Kernel) Resume(id TaskID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return ErrNoSuchTask
+	}
+	if t.State == StateDead {
+		return ErrDeadTask
+	}
+	k.M.Charge(machine.CostSuspendResume)
+	if t.State == StateSuspended {
+		k.enqueue(t)
+	}
+	return nil
+}
+
+// parkCurrentContext banks the live register state of the current ISA
+// task onto its stack so another task can run.
+func (k *Kernel) parkCurrentContext() error {
+	t := k.current
+	if t == nil || !t.IsISA() || !k.ctxLive {
+		return nil
+	}
+	k.pushInterruptFrame()
+	if err := k.IntPath.Save(k, t); err != nil {
+		return err
+	}
+	k.ctxLive = false
+	if k.checkStackBounds(t) {
+		k.current = nil
+	}
+	return nil
+}
+
+// DelayCurrent blocks the current ISA task for the given number of
+// cycles. Called from the syscall path with a live context.
+func (k *Kernel) DelayCurrent(cycles uint64) error {
+	t := k.current
+	if t == nil {
+		return nil
+	}
+	if err := k.parkCurrentContext(); err != nil {
+		return err
+	}
+	if t.State == StateDead {
+		return nil
+	}
+	t.State = StateBlocked
+	t.wakeAt = k.M.Cycles() + cycles
+	k.current = nil
+	return nil
+}
+
+// BlockCurrent parks the current task in StateBlocked without a wake
+// deadline; something must later call Unblock. Used by IPC receive.
+func (k *Kernel) BlockCurrent() error {
+	t := k.current
+	if t == nil {
+		return nil
+	}
+	if err := k.parkCurrentContext(); err != nil {
+		return err
+	}
+	if t.State == StateDead {
+		return nil
+	}
+	t.State = StateBlocked
+	t.wakeAt = 0
+	k.current = nil
+	return nil
+}
+
+// Unblock makes a blocked task ready (message arrival, queue space).
+// info is delivered in R0 at the next restore.
+func (k *Kernel) Unblock(t *TCB, info uint32) {
+	if t.State != StateBlocked {
+		return
+	}
+	t.wakeAt = 0
+	t.EntryInfo = info
+	k.enqueue(t)
+}
+
+// WakeService marks a (possibly blocked) service task ready because new
+// work arrived for it.
+func (k *Kernel) WakeService(t *TCB) {
+	if t.State == StateBlocked {
+		k.enqueue(t)
+	}
+}
+
+// YieldCurrent requeues the current task behind its priority peers.
+func (k *Kernel) YieldCurrent() error {
+	t := k.current
+	if t == nil {
+		return nil
+	}
+	if err := k.parkCurrentContext(); err != nil {
+		return err
+	}
+	if t.State == StateDead {
+		return nil
+	}
+	t.EntryInfo = EntryResumed
+	k.enqueue(t)
+	k.current = nil
+	return nil
+}

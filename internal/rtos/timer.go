@@ -1,0 +1,81 @@
+package rtos
+
+import "repro/internal/machine"
+
+// SoftTimer is a software timer: a callback that fires at a cycle
+// deadline, one-shot or periodic — the "special alarms and time-outs"
+// of the paper's real-time feature list (§4). Callbacks run in kernel
+// context and must be short and bounded.
+type SoftTimer struct {
+	name     string
+	period   uint64
+	deadline uint64
+	periodic bool
+	active   bool
+	fired    uint64
+	fn       func(k *Kernel)
+}
+
+// NewSoftTimer registers a timer firing delay cycles from now. Periodic
+// timers re-arm themselves every delay cycles until Stop.
+func (k *Kernel) NewSoftTimer(name string, delay uint64, periodic bool, fn func(*Kernel)) *SoftTimer {
+	k.M.Charge(machine.CostTimerOp)
+	st := &SoftTimer{
+		name:     name,
+		period:   delay,
+		deadline: k.M.Cycles() + delay,
+		periodic: periodic,
+		active:   true,
+		fn:       fn,
+	}
+	k.timers = append(k.timers, st)
+	return st
+}
+
+// Stop deactivates the timer.
+func (st *SoftTimer) Stop() { st.active = false }
+
+// Active reports whether the timer is armed.
+func (st *SoftTimer) Active() bool { return st.active }
+
+// Fired returns how many times the timer has fired.
+func (st *SoftTimer) Fired() uint64 { return st.fired }
+
+// Name returns the diagnostic name.
+func (st *SoftTimer) Name() string { return st.name }
+
+// expireTimers fires every due timer and compacts the inactive ones.
+func (k *Kernel) expireTimers() {
+	now := k.M.Cycles()
+	anyInactive := false
+	for _, st := range k.timers {
+		if !st.active {
+			anyInactive = true
+			continue
+		}
+		if st.deadline > now {
+			continue
+		}
+		k.M.Charge(machine.CostTimerOp)
+		st.fired++
+		if st.periodic {
+			st.deadline += st.period
+			if st.deadline <= now {
+				st.deadline = now + st.period
+			}
+		} else {
+			st.active = false
+			anyInactive = true
+		}
+		st.fn(k)
+	}
+	if anyInactive {
+		live := k.timers[:0]
+		for _, st := range k.timers {
+			if st.active {
+				live = append(live, st)
+			}
+		}
+		k.timers = live
+	}
+}

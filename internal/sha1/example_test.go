@@ -1,0 +1,29 @@
+package sha1_test
+
+import (
+	"fmt"
+
+	"repro/internal/sha1"
+)
+
+// Example shows the resumable, block-wise interface the RTM task
+// depends on: the hash state is a plain value, so it can be snapshotted
+// across pre-emptions and fed one 64-byte block at a time.
+func Example() {
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	s := sha1.New()
+	s.WriteBlock(data[:64])
+	snapshot := s // a value copy is a full snapshot
+	s.WriteBlock(data[64:])
+
+	snapshot.WriteBlock(data[64:]) // resume the snapshot independently
+	fmt.Println("digests equal:", s.Sum() == snapshot.Sum())
+	fmt.Println("matches one-shot:", s.Sum() == sha1.Sum1(data))
+	// Output:
+	// digests equal: true
+	// matches one-shot: true
+}

@@ -1,0 +1,159 @@
+// Package sha1 implements the SHA-1 hash with an explicitly resumable,
+// block-oriented state.
+//
+// TyTAN's RTM task "must be interruptible during the hash calculation"
+// (§3): measurement of a task proceeds one 64-byte compression at a
+// time, and the hash state survives arbitrarily many pre-emptions in
+// between. The standard library's implementation hides its state behind
+// an interface; this implementation exposes exactly the unit of work the
+// scheduler interleaves — one compression — so the RTM task (see
+// internal/trusted) can charge CostMeasurePerBlock per step and yield
+// between steps.
+//
+// The paper uses SHA-1 and notes other hash algorithms work too; the
+// choice is historical (2015) and this package is faithful to it. It is
+// verified bit-for-bit against crypto/sha1 in the tests.
+package sha1
+
+import "encoding/binary"
+
+// Size is the digest length in bytes.
+const Size = 20
+
+// BlockSize is the compression block length in bytes.
+const BlockSize = 64
+
+// Digest is a SHA-1 digest.
+type Digest [Size]byte
+
+// State is a running SHA-1 computation. The zero value is not valid;
+// use New. State is a plain value: copying it snapshots the
+// computation, which is how measurement survives task unload/reload
+// races (the RTM clones the state before risky steps).
+type State struct {
+	h   [5]uint32
+	len uint64
+	buf [BlockSize]byte
+	n   int
+}
+
+// New returns an initialized SHA-1 state.
+func New() State {
+	return State{h: [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}}
+}
+
+// Blocks returns the number of full compressions performed so far.
+func (s *State) Blocks() uint64 { return s.len / BlockSize }
+
+// BufferedBytes returns how many bytes are waiting for the next full
+// block.
+func (s *State) BufferedBytes() int { return s.n }
+
+// Write absorbs p into the state, compressing as full blocks form. It
+// never fails; the error return satisfies io.Writer.
+func (s *State) Write(p []byte) (int, error) {
+	total := len(p)
+	s.len += uint64(total)
+	if s.n > 0 {
+		c := copy(s.buf[s.n:], p)
+		s.n += c
+		p = p[c:]
+		if s.n == BlockSize {
+			s.compress(s.buf[:])
+			s.n = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		s.compress(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	s.n += copy(s.buf[s.n:], p)
+	return total, nil
+}
+
+// WriteBlock absorbs exactly one aligned 64-byte block. It panics if
+// bytes are currently buffered (mixed use with a partial Write) or if
+// the block is not 64 bytes: the RTM task feeds the measurement in
+// whole blocks by construction, so a violation is a programming error.
+func (s *State) WriteBlock(block []byte) {
+	if s.n != 0 {
+		panic("sha1: WriteBlock with buffered bytes")
+	}
+	if len(block) != BlockSize {
+		panic("sha1: WriteBlock of wrong size")
+	}
+	s.len += BlockSize
+	s.compress(block)
+}
+
+// Sum finalizes a copy of the state and returns the digest. The state
+// itself remains usable for further writes (finalization does not
+// mutate it).
+func (s *State) Sum() Digest {
+	c := *s // finalize a copy
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	padLen := BlockSize - int((c.len+9)%BlockSize) + 1
+	if padLen == BlockSize+1 {
+		padLen = 1
+	}
+	binary.BigEndian.PutUint64(pad[padLen:], c.len*8)
+	c.Write(pad[:padLen+8])
+	var d Digest
+	for i, v := range c.h {
+		binary.BigEndian.PutUint32(d[i*4:], v)
+	}
+	return d
+}
+
+// Sum1 computes the SHA-1 digest of data in one call.
+func Sum1(data []byte) Digest {
+	s := New()
+	s.Write(data)
+	return s.Sum()
+}
+
+// compress performs one SHA-1 compression over a 64-byte block.
+func (s *State) compress(block []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[i*4:])
+	}
+	for i := 16; i < 80; i++ {
+		t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+		w[i] = t<<1 | t>>31
+	}
+	a, b, c, d, e := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & d)
+			k = 0x5A827999
+		case i < 40:
+			f = b ^ c ^ d
+			k = 0x6ED9EBA1
+		case i < 60:
+			f = (b & c) | (b & d) | (c & d)
+			k = 0x8F1BBCDC
+		default:
+			f = b ^ c ^ d
+			k = 0xCA62C1D6
+		}
+		t := (a<<5 | a>>27) + f + e + k + w[i]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, t
+	}
+	s.h[0] += a
+	s.h[1] += b
+	s.h[2] += c
+	s.h[3] += d
+	s.h[4] += e
+}
+
+// TruncatedID returns the first 8 bytes of the digest as a uint64. The
+// TyTAN implementation "uses only the first 64 bits of the hash digest"
+// as the task identity for performance (§6, footnote 9); the full
+// digest remains available for remote attestation.
+func (d Digest) TruncatedID() uint64 {
+	return binary.BigEndian.Uint64(d[:8])
+}

@@ -1,0 +1,128 @@
+// Package trace provides a cycle-stamped event log for the evaluation
+// harness: the use-case benchmark records task activations and load
+// phases and then computes per-window rates (the kilohertz columns of
+// Table 1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle uint64
+	Name  string
+}
+
+// Log is an append-only event log. The zero value is ready to use.
+type Log struct {
+	events []Event
+}
+
+// Record appends an event at the given cycle.
+func (l *Log) Record(cycle uint64, name string) {
+	l.events = append(l.events, Event{Cycle: cycle, Name: name})
+}
+
+// Recordf appends a formatted event.
+func (l *Log) Recordf(cycle uint64, format string, args ...any) {
+	l.Record(cycle, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	return append([]Event(nil), l.events...)
+}
+
+// Count returns the number of events with the given name in the
+// half-open cycle window [from, to).
+func (l *Log) Count(name string, from, to uint64) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Name == name && e.Cycle >= from && e.Cycle < to {
+			n++
+		}
+	}
+	return n
+}
+
+// RateKHz returns the occurrence rate of name in [from, to) in kHz,
+// given the platform clock in Hz.
+func (l *Log) RateKHz(name string, from, to uint64, clockHz uint64) float64 {
+	if to <= from {
+		return 0
+	}
+	n := l.Count(name, from, to)
+	seconds := float64(to-from) / float64(clockHz)
+	return float64(n) / seconds / 1000
+}
+
+// First returns the first event with the given name, if any.
+func (l *Log) First(name string) (Event, bool) {
+	for _, e := range l.events {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the last event with the given name, if any.
+func (l *Log) Last(name string) (Event, bool) {
+	for i := len(l.events) - 1; i >= 0; i-- {
+		if l.events[i].Name == name {
+			return l.events[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// Gaps returns the cycle distances between consecutive events with the
+// given name, sorted ascending — the jitter profile of a periodic task.
+func (l *Log) Gaps(name string) []uint64 {
+	var prev uint64
+	havePrev := false
+	var gaps []uint64
+	for _, e := range l.events {
+		if e.Name != name {
+			continue
+		}
+		if havePrev {
+			gaps = append(gaps, e.Cycle-prev)
+		}
+		prev = e.Cycle
+		havePrev = true
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps
+}
+
+// MaxGap returns the largest inter-event gap for name (0 if fewer than
+// two events).
+func (l *Log) MaxGap(name string) uint64 {
+	gaps := l.Gaps(name)
+	if len(gaps) == 0 {
+		return 0
+	}
+	return gaps[len(gaps)-1]
+}
+
+// Hook returns a callback suitable for the kernel's OnTrace field,
+// appending every kernel event to the log.
+func (l *Log) Hook() func(cycle uint64, event string) {
+	return func(cycle uint64, event string) { l.Record(cycle, event) }
+}
+
+// String renders the log, one event per line.
+func (l *Log) String() string {
+	var sb strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&sb, "%12d  %s\n", e.Cycle, e.Name)
+	}
+	return sb.String()
+}

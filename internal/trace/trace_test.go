@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Log {
+	l := &Log{}
+	for c := uint64(0); c < 10; c++ {
+		l.Record(c*100, "tick")
+	}
+	l.Record(250, "load-start")
+	l.Record(850, "load-end")
+	return l
+}
+
+func TestCount(t *testing.T) {
+	l := sample()
+	if got := l.Count("tick", 0, 1000); got != 10 {
+		t.Errorf("Count = %d, want 10", got)
+	}
+	if got := l.Count("tick", 200, 500); got != 3 {
+		t.Errorf("windowed Count = %d, want 3 (200,300,400)", got)
+	}
+	if got := l.Count("absent", 0, 1000); got != 0 {
+		t.Errorf("absent Count = %d", got)
+	}
+}
+
+func TestRateKHz(t *testing.T) {
+	l := sample()
+	// 10 events over 1000 cycles at 1 MHz: 10 / 1ms = 10 kHz.
+	if got := l.RateKHz("tick", 0, 1000, 1_000_000); got != 10 {
+		t.Errorf("RateKHz = %v, want 10", got)
+	}
+	if got := l.RateKHz("tick", 5, 5, 1_000_000); got != 0 {
+		t.Errorf("empty window rate = %v", got)
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	l := sample()
+	if e, ok := l.First("load-start"); !ok || e.Cycle != 250 {
+		t.Errorf("First = %+v, %v", e, ok)
+	}
+	if e, ok := l.Last("tick"); !ok || e.Cycle != 900 {
+		t.Errorf("Last = %+v, %v", e, ok)
+	}
+	if _, ok := l.First("absent"); ok {
+		t.Error("First of absent event")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	l := &Log{}
+	for _, c := range []uint64{0, 100, 350, 400} {
+		l.Record(c, "x")
+	}
+	gaps := l.Gaps("x")
+	if len(gaps) != 3 || gaps[0] != 50 || gaps[2] != 250 {
+		t.Errorf("Gaps = %v", gaps)
+	}
+	if l.MaxGap("x") != 250 {
+		t.Errorf("MaxGap = %d", l.MaxGap("x"))
+	}
+	if l.MaxGap("absent") != 0 {
+		t.Error("MaxGap of absent event")
+	}
+}
+
+func TestStringAndRecordf(t *testing.T) {
+	l := &Log{}
+	l.Recordf(7, "task %d", 3)
+	if l.Len() != 1 {
+		t.Fatal("len")
+	}
+	if !strings.Contains(l.String(), "task 3") {
+		t.Errorf("String = %q", l.String())
+	}
+	ev := l.Events()
+	ev[0].Name = "mutated"
+	if e, _ := l.First("task 3"); e.Name != "task 3" {
+		t.Error("Events returned aliasing slice")
+	}
+}
+
+func TestHook(t *testing.T) {
+	l := &Log{}
+	hook := l.Hook()
+	hook(5, "event")
+	if e, ok := l.First("event"); !ok || e.Cycle != 5 {
+		t.Errorf("hooked event = %+v, %v", e, ok)
+	}
+}

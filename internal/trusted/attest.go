@@ -1,0 +1,208 @@
+package trusted
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hcrypto"
+	"repro/internal/machine"
+	"repro/internal/rtos"
+	"repro/internal/sha1"
+)
+
+// Attest implements local and remote attestation (§3 "Attestation").
+//
+// Local attestation needs no cryptography: the EA-MPU guarantees that
+// only the RTM can write identities, so reading idt from the registry
+// *is* the attestation report.
+//
+// Remote attestation proves idt to a party outside the platform: the
+// Remote Attest task MACs the identity (together with the verifier's
+// nonce, preventing replay) under an attestation key Ka derived from
+// the platform key Kp. Ka never leaves the trusted components; the
+// EA-MPU rule on the key store admits reads from the RTM/Attest/Storage
+// code regions only.
+type Attest struct {
+	m   *machine.Machine
+	rtm *RTM
+	kp  []byte
+	ka  []byte // default provider's attestation key
+	// perProvider caches per-provider keys ("a key derivation scheme
+	// which allows the creation of individual attestation keys per P",
+	// §3 footnote 2, citing SANCUS).
+	perProvider map[string][]byte
+}
+
+// AttestLabel is the KDF label for attestation keys.
+const AttestLabel = "attest"
+
+// Quote is a remote attestation report.
+type Quote struct {
+	ID    sha1.Digest // full task identity (not truncated)
+	Nonce uint64      // verifier challenge
+	MAC   sha1.Digest // HMAC(Ka, id ‖ nonce)
+}
+
+// Attestation errors.
+var (
+	ErrQuoteInvalid = errors.New("trusted: attestation quote rejected")
+	ErrKeyDenied    = errors.New("trusted: platform key access denied")
+)
+
+// NewAttest creates the Remote Attest component, deriving Ka from the
+// platform key for the given provider context (the per-provider scheme
+// cited from SANCUS: each task provider P can be given its own key).
+func NewAttest(m *machine.Machine, rtm *RTM, provider string) (*Attest, error) {
+	kp, err := readPlatformKey(m, AttestBase)
+	if err != nil {
+		return nil, err
+	}
+	return &Attest{
+		m:           m,
+		rtm:         rtm,
+		kp:          kp,
+		ka:          hcrypto.DeriveKey(kp, AttestLabel, []byte(provider)),
+		perProvider: make(map[string][]byte),
+	}, nil
+}
+
+// providerKey returns (deriving and caching on first use) the
+// attestation key of a task provider.
+func (a *Attest) providerKey(provider string) []byte {
+	if k, ok := a.perProvider[provider]; ok {
+		return k
+	}
+	a.m.Charge(machine.CostStorageKeyDerive)
+	k := hcrypto.DeriveKey(a.kp, AttestLabel, []byte(provider))
+	a.perProvider[provider] = k
+	return k
+}
+
+// QuoteTaskForProvider produces a quote MACed under the given
+// provider's individual attestation key, so mutually distrusting
+// stakeholders verify their own tasks without sharing keys.
+func (a *Attest) QuoteTaskForProvider(provider string, id rtos.TaskID, nonce uint64) (Quote, error) {
+	e, ok := a.rtm.LookupByTask(id)
+	if !ok {
+		return Quote{}, ErrUnknownIdentity
+	}
+	a.m.Charge(2 * machine.CostMeasurePerBlock)
+	return Quote{
+		ID:    e.ID,
+		Nonce: nonce,
+		MAC:   hcrypto.HMAC(a.providerKey(provider), quoteMessage(e.ID, nonce)),
+	}, nil
+}
+
+// readPlatformKey reads Kp from the key-store device through the
+// checked bus in the given component's protection context — the only
+// way software can obtain the key, and one the EA-MPU restricts to the
+// crypto-capable trusted components.
+func readPlatformKey(m *machine.Machine, ctxBase uint32) ([]byte, error) {
+	key := make([]byte, machine.KeySize)
+	base := machine.DeviceAddr(machine.PageKeyStore)
+	var err error
+	m.WithExecContext(ctxBase, func() {
+		for off := uint32(0); off < machine.KeySize; off += 4 {
+			var v uint32
+			v, err = m.Read32(base + off)
+			if err != nil {
+				return
+			}
+			binary.LittleEndian.PutUint32(key[off:], v)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKeyDenied, err)
+	}
+	m.Charge(machine.KeySize / 4 * 4) // MMIO reads
+	return key, nil
+}
+
+// quoteMessage is the MAC input: id ‖ nonce.
+func quoteMessage(id sha1.Digest, nonce uint64) []byte {
+	msg := make([]byte, 0, len(id)+8)
+	msg = append(msg, id[:]...)
+	msg = binary.LittleEndian.AppendUint64(msg, nonce)
+	return msg
+}
+
+// QuoteSize is the wire size of an encoded quote.
+const QuoteSize = sha1.Size + 8 + sha1.Size
+
+// Marshal encodes the quote for transmission to a remote verifier:
+// id ‖ nonce ‖ mac, little-endian nonce.
+func (q Quote) Marshal() []byte {
+	out := make([]byte, 0, QuoteSize)
+	out = append(out, q.ID[:]...)
+	out = binary.LittleEndian.AppendUint64(out, q.Nonce)
+	out = append(out, q.MAC[:]...)
+	return out
+}
+
+// UnmarshalQuote decodes a wire-format quote.
+func UnmarshalQuote(b []byte) (Quote, error) {
+	if len(b) != QuoteSize {
+		return Quote{}, fmt.Errorf("%w: %d bytes, want %d", ErrQuoteInvalid, len(b), QuoteSize)
+	}
+	var q Quote
+	copy(q.ID[:], b[:sha1.Size])
+	q.Nonce = binary.LittleEndian.Uint64(b[sha1.Size:])
+	copy(q.MAC[:], b[sha1.Size+8:])
+	return q, nil
+}
+
+// QuoteTask produces a remote attestation report for a loaded task.
+func (a *Attest) QuoteTask(id rtos.TaskID, nonce uint64) (Quote, error) {
+	e, ok := a.rtm.LookupByTask(id)
+	if !ok {
+		return Quote{}, ErrUnknownIdentity
+	}
+	// Two SHA-1 passes over a short message.
+	a.m.Charge(2 * machine.CostMeasurePerBlock)
+	return Quote{
+		ID:    e.ID,
+		Nonce: nonce,
+		MAC:   hcrypto.HMAC(a.ka, quoteMessage(e.ID, nonce)),
+	}, nil
+}
+
+// LocalAttest answers whether a task with the given truncated identity
+// is currently loaded — the local attestation primitive. The querying
+// task can trust the answer because only the RTM writes the registry.
+func (a *Attest) LocalAttest(trunc uint64) bool {
+	a.m.Charge(machine.CostIPCLookupBase + uint64(a.rtm.Entries())*machine.CostIPCLookupPerTask)
+	_, _, err := a.rtm.LookupByTruncID(trunc)
+	return err == nil
+}
+
+// Verifier is the remote party: it knows the platform key (in a real
+// deployment, the derived Ka provisioned out of band) and the published
+// task binaries.
+type Verifier struct {
+	ka []byte
+}
+
+// NewVerifier creates a verifier for the platform with key kp and the
+// given provider context.
+func NewVerifier(kp []byte, provider string) *Verifier {
+	return &Verifier{ka: hcrypto.DeriveKey(kp, AttestLabel, []byte(provider))}
+}
+
+// Verify checks a quote against the expected identity and the nonce the
+// verifier issued.
+func (v *Verifier) Verify(q Quote, expected sha1.Digest, nonce uint64) error {
+	if q.Nonce != nonce {
+		return fmt.Errorf("%w: nonce mismatch", ErrQuoteInvalid)
+	}
+	if q.ID != expected {
+		return fmt.Errorf("%w: identity mismatch", ErrQuoteInvalid)
+	}
+	want := hcrypto.HMAC(v.ka, quoteMessage(q.ID, q.Nonce))
+	if !bytes.Equal(want[:], q.MAC[:]) {
+		return fmt.Errorf("%w: bad MAC", ErrQuoteInvalid)
+	}
+	return nil
+}
