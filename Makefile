@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench tables interp-bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate CI and pre-commit should run: build, vet, and the
+# full test suite under the race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=10x -run=^$$ .
+
+tables:
+	$(GO) run ./cmd/tytan-bench
+
+# interp-bench measures the interpreter fast path (host ns/run and
+# host-MIPS, fast vs reference) and writes BENCH_interp.json.
+interp-bench:
+	$(GO) run ./cmd/tytan-bench -interp-json BENCH_interp.json
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_interp.json

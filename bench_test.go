@@ -28,18 +28,26 @@ import (
 
 func BenchmarkTable1UseCase(b *testing.B) {
 	var last benchlab.UseCaseResult
+	var insns uint64
 	for i := 0; i < b.N; i++ {
 		r, err := benchlab.RunUseCase(false)
 		if err != nil {
 			b.Fatal(err)
 		}
 		last = r
+		insns += r.Instructions
 	}
 	b.ReportMetric(last.RateT0[1]*1000, "t0-Hz-while-loading")
 	b.ReportMetric(last.RateT1[1]*1000, "t1-Hz-while-loading")
 	b.ReportMetric(last.RateT2[2]*1000, "t2-Hz-after-loading")
 	b.ReportMetric(float64(last.LoadWorkCycles), "load-cycles")
 	b.ReportMetric(last.LoadMillis(), "load-ms")
+	// Host simulation throughput: guest instructions retired per host
+	// second, in millions. Not a paper quantity — it tracks the
+	// interpreter fast path (see DESIGN.md, "Simulator fast path").
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(insns)/s/1e6, "host-mips")
+	}
 }
 
 func BenchmarkTable2ContextSave(b *testing.B) {

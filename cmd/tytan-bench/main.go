@@ -4,27 +4,41 @@
 //
 // Usage:
 //
-//	tytan-bench            # all paper tables
-//	tytan-bench -ablations # the ablation studies as well
-//	tytan-bench -only 4    # just Table 4
+//	tytan-bench              # all paper tables
+//	tytan-bench -ablations   # the ablation studies as well
+//	tytan-bench -only 4      # just Table 4
+//	tytan-bench -interp-json BENCH_interp.json
+//	                         # interpreter fast-path benchmark → JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/benchlab"
+	"repro/internal/machine"
 )
 
 func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
 	only := flag.Int("only", 0, "run only the given table number (1-8)")
 	md := flag.Bool("md", false, "emit GitHub-flavoured markdown instead of aligned text")
+	interpJSON := flag.String("interp-json", "", "benchmark the interpreter fast path and write the result JSON to this file")
 	flag.Parse()
 	render := benchlab.Table.String
 	if *md {
 		render = benchlab.Table.Markdown
+	}
+
+	if *interpJSON != "" {
+		if err := runInterpBench(*interpJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tytan-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *only != 0 {
@@ -53,6 +67,90 @@ func main() {
 			fmt.Println(render(t))
 		}
 	}
+}
+
+// interpBenchReport is the schema of the -interp-json output: host
+// throughput of the Table 1 use-case simulation with the interpreter
+// fast path on and off, plus the guest-side quantities, which must be
+// identical in both modes (the fast path is cycle-exact by contract).
+type interpBenchReport struct {
+	// Guest-side quantities (mode-independent).
+	GuestInstructions uint64  `json:"guest_instructions"`
+	GuestCycles       uint64  `json:"guest_cycles"`
+	LoadCycles        uint64  `json:"load_cycles"`
+	LoadMillis        float64 `json:"load_ms"`
+
+	// Host-side timing per mode.
+	Iterations     int     `json:"iterations"`
+	FastNsPerRun   float64 `json:"fast_ns_per_run"`
+	RefNsPerRun    float64 `json:"ref_ns_per_run"`
+	FastHostMIPS   float64 `json:"fast_host_mips"`
+	RefHostMIPS    float64 `json:"ref_host_mips"`
+	Speedup        float64 `json:"speedup"`
+	CycleExact     bool    `json:"cycle_exact"`
+	GoMaxProcsNote string  `json:"note"`
+}
+
+// runInterpBench times the Table 1 use case with the fast path enabled
+// and disabled and writes the comparison to path as JSON.
+func runInterpBench(path string) error {
+	const iters = 50
+	timeMode := func(fast bool) (benchlab.UseCaseResult, float64, error) {
+		prev := machine.FastPathDefault
+		machine.FastPathDefault = fast
+		defer func() { machine.FastPathDefault = prev }()
+		var last benchlab.UseCaseResult
+		// Warm-up run: populates the RAM pool and OS page cache.
+		if _, err := benchlab.RunUseCase(false); err != nil {
+			return last, 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			r, err := benchlab.RunUseCase(false)
+			if err != nil {
+				return last, 0, err
+			}
+			last = r
+		}
+		return last, float64(time.Since(start).Nanoseconds()) / iters, nil
+	}
+
+	fastRes, fastNs, err := timeMode(true)
+	if err != nil {
+		return err
+	}
+	refRes, refNs, err := timeMode(false)
+	if err != nil {
+		return err
+	}
+
+	rep := interpBenchReport{
+		GuestInstructions: fastRes.Instructions,
+		GuestCycles:       fastRes.TotalCycles,
+		LoadCycles:        fastRes.LoadWorkCycles,
+		LoadMillis:        fastRes.LoadMillis(),
+		Iterations:        iters,
+		FastNsPerRun:      fastNs,
+		RefNsPerRun:       refNs,
+		FastHostMIPS:      float64(fastRes.Instructions) / fastNs * 1e3,
+		RefHostMIPS:       float64(refRes.Instructions) / refNs * 1e3,
+		Speedup:           refNs / fastNs,
+		CycleExact:        fastRes == refRes,
+		GoMaxProcsNote:    "single-threaded simulation; host timing is wall clock",
+	}
+	if !rep.CycleExact {
+		return fmt.Errorf("fast path diverged from reference:\nfast: %+v\nref:  %+v", fastRes, refRes)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("interp bench: %.0f ns/run fast, %.0f ns/run reference, %.2fx speedup, %.1f host-MIPS → %s\n",
+		fastNs, refNs, rep.Speedup, rep.FastHostMIPS, path)
+	return nil
 }
 
 func runOne(n int) error {

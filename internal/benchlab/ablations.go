@@ -135,6 +135,7 @@ func AblationIdentityWidth() (Table, error) {
 // counting rejected sends under bursts.
 func AblationMailboxDepth() (Table, error) {
 	p := mustPlatform(core.Options{})
+	defer p.Close()
 	sender, _, err := p.LoadTaskSync(GenImage("s", 256, nil), core.Secure, 3)
 	if err != nil {
 		return Table{}, err
@@ -175,6 +176,7 @@ func AblationLoaderQuantum() (Table, error) {
 	for _, q := range []uint64{1_024, 4_096, 16_384, 1 << 40} {
 		opt := core.Options{EngineHistory: 1 << 16, LoaderQuantum: q}
 		p := mustPlatform(opt)
+		defer p.Close()
 		t0 := UseCaseTaskImage(tagT0, useCasePeriod)
 		if _, _, err := p.LoadTaskSync(t0, core.Secure, 5); err != nil {
 			return Table{}, err
@@ -233,6 +235,7 @@ func AblationInterruptFlood() (Table, error) {
 	var quiet float64
 	for _, interval := range []uint64{0, 8_000, 2_000, 500} {
 		p := mustPlatform(core.Options{EngineHistory: 1 << 16})
+		defer p.Close()
 		t0 := UseCaseTaskImage(tagT0, useCasePeriod)
 		if _, _, err := p.LoadTaskSync(t0, core.Secure, 5); err != nil {
 			return Table{}, err
@@ -358,6 +361,7 @@ func TableInterruptLatency() (Table, error) {
 	for _, baseline := range []bool{false, true} {
 		opt := core.Options{EngineHistory: 1 << 16, Baseline: baseline}
 		p := mustPlatform(opt)
+		defer p.Close()
 		t0 := UseCaseTaskImage(tagT0, useCasePeriod)
 		kind := core.Secure
 		if baseline {

@@ -67,6 +67,7 @@ func MeasureContextSwitch() (ContextSwitchResult, error) {
 
 	measure := func(baseline bool) (save, restore uint64, err error) {
 		p := mustPlatform(core.Options{Baseline: baseline})
+		defer p.Close()
 		kind := core.Secure
 		if baseline {
 			kind = core.Normal
@@ -157,6 +158,7 @@ func MeasureCreation() (CreationResult, error) {
 	var res CreationResult
 	load := func(opt core.Options, kind rtos.TaskKind) (core.LoadBreakdown, error) {
 		p := mustPlatform(opt)
+		defer p.Close()
 		req := p.LoadTaskAsync(CanonicalCreationImage(), kind, 3)
 		if err := p.Run(20_000_000); err != nil {
 			return core.LoadBreakdown{}, err
@@ -223,6 +225,7 @@ func MeasureCreationScaling() ([]ScalingPoint, error) {
 		pt.Bytes = size
 		for _, kind := range []rtos.TaskKind{rtos.KindSecure, rtos.KindNormal} {
 			p := mustPlatform(core.Options{})
+			defer p.Close()
 			req := p.LoadTaskAsync(GenImage("scale", size, nil), kind, 3)
 			if err := p.Run(60_000_000); err != nil {
 				return nil, err
@@ -478,6 +481,7 @@ type IPCResult struct {
 // two loaded secure tasks, a three-word message.
 func MeasureIPC() (IPCResult, error) {
 	p := mustPlatform(core.Options{})
+	defer p.Close()
 	sender, _, err := p.LoadTaskSync(GenImage("s", 256, nil), core.Secure, 3)
 	if err != nil {
 		return IPCResult{}, err
@@ -508,6 +512,7 @@ func MeasureIPCScaling() ([][2]uint64, error) {
 	var points [][2]uint64
 	for _, n := range []int{2, 4, 8, 11} {
 		p := mustPlatform(core.Options{})
+		defer p.Close()
 		var tasks []*rtos.TCB
 		for i := 0; i < n; i++ {
 			tcb, _, err := p.LoadTaskSync(GenImage(fmt.Sprintf("t%d", i), 256, nil), core.Secure, 3)

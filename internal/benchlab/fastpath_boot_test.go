@@ -1,0 +1,53 @@
+package benchlab
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestUseCaseFastPathEquivalence is the end-to-end differential check:
+// the full Table 1 use case — secure boot, three task loads, interrupts,
+// IPC, MPU reconfiguration — must produce bit-identical results with the
+// interpreter fast path on and off. This is the system-level companion
+// to the per-step lockstep tests in internal/machine.
+func TestUseCaseFastPathEquivalence(t *testing.T) {
+	run := func(fast bool) UseCaseResult {
+		t.Helper()
+		prev := machine.FastPathDefault
+		machine.FastPathDefault = fast
+		defer func() { machine.FastPathDefault = prev }()
+		r, err := RunUseCase(false)
+		if err != nil {
+			t.Fatalf("fastpath=%v: %v", fast, err)
+		}
+		return r
+	}
+	fast := run(true)
+	ref := run(false)
+	if fast != ref {
+		t.Errorf("fast path diverged from reference:\nfast: %+v\nref:  %+v", fast, ref)
+	}
+	if fast.Instructions == 0 || fast.TotalCycles == 0 {
+		t.Errorf("instruction/cycle accounting missing: %+v", fast)
+	}
+}
+
+// TestUseCaseAtomicFastPathEquivalence repeats the check for the atomic
+// (non-interruptible) loading ablation, whose control flow differs.
+func TestUseCaseAtomicFastPathEquivalence(t *testing.T) {
+	run := func(fast bool) UseCaseResult {
+		t.Helper()
+		prev := machine.FastPathDefault
+		machine.FastPathDefault = fast
+		defer func() { machine.FastPathDefault = prev }()
+		r, err := RunUseCase(true)
+		if err != nil {
+			t.Fatalf("fastpath=%v: %v", fast, err)
+		}
+		return r
+	}
+	if fast, ref := run(true), run(false); fast != ref {
+		t.Errorf("fast path diverged from reference:\nfast: %+v\nref:  %+v", fast, ref)
+	}
+}

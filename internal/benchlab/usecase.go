@@ -48,6 +48,12 @@ type UseCaseResult struct {
 	// Missed counts t0 activations lost during loading relative to the
 	// nominal rate (0 for interruptible loading).
 	Missed int
+
+	// Instructions and TotalCycles are the guest instruction and cycle
+	// totals for the whole run — the benchmark derives host-MIPS
+	// (guest instructions retired per host second) from them.
+	Instructions uint64
+	TotalCycles  uint64
 }
 
 // LoadMillis converts the load work to milliseconds at the platform
@@ -66,6 +72,7 @@ func RunUseCase(atomicLoading bool) (UseCaseResult, error) {
 		opt.LoaderQuantum = 1 << 40
 	}
 	p := mustPlatform(opt)
+	defer p.Close()
 
 	t0 := UseCaseTaskImage(tagT0, useCasePeriod)
 	t0.Name = "t0"
@@ -112,9 +119,22 @@ func RunUseCase(atomicLoading bool) (UseCaseResult, error) {
 	e3 := p.Cycles()
 
 	// Convert the engine command log into per-task activation traces.
+	// Tag values map to static names; formatting one per command showed
+	// up in benchmark profiles.
+	taskName := func(v uint32) string {
+		switch v {
+		case tagT0:
+			return "t0"
+		case tagT1:
+			return "t1"
+		case tagT2:
+			return "t2"
+		}
+		return fmt.Sprintf("t%d", v-1)
+	}
 	log := &trace.Log{}
 	for _, c := range p.Engine.Commands() {
-		log.Record(c.Cycle, fmt.Sprintf("t%d", c.Value-1))
+		log.Record(c.Cycle, taskName(c.Value))
 	}
 	rate := func(task string, from, to uint64) float64 {
 		return log.RateKHz(task, from, to, machine.ClockHz)
@@ -152,6 +172,8 @@ func RunUseCase(atomicLoading bool) (UseCaseResult, error) {
 			res.Missed += int(g/useCasePeriod) - 1
 		}
 	}
+	res.Instructions = p.M.InsnRetired()
+	res.TotalCycles = p.Cycles()
 	return res, nil
 }
 

@@ -84,15 +84,32 @@ loop:
 `, tag, tag, periodCycles)
 }
 
+// useCaseImageCache memoizes assembled use-case task images: the
+// benchmark harness rebuilds the same two or three programs for every
+// measurement, and the assembler is a noticeable share of host time.
+var useCaseImageCache = map[[2]int]*telf.Image{}
+
 // UseCaseTaskImage assembles one of the use-case tasks. Each activation
 // writes its tag to the engine actuator, timestamping it in simulated
-// time.
+// time. The result is a private shallow copy (callers rename it and
+// append to Data); the slices are capacity-capped so an append cannot
+// reach back into the cached image.
 func UseCaseTaskImage(tag int, periodCycles int) *telf.Image {
-	im, err := asm.Assemble(controlTaskSrc(tag, periodCycles))
-	if err != nil {
-		panic("benchlab: use-case task: " + err.Error())
+	key := [2]int{tag, periodCycles}
+	im, ok := useCaseImageCache[key]
+	if !ok {
+		var err error
+		im, err = asm.Assemble(controlTaskSrc(tag, periodCycles))
+		if err != nil {
+			panic("benchlab: use-case task: " + err.Error())
+		}
+		useCaseImageCache[key] = im
 	}
-	return im
+	out := *im
+	out.Text = im.Text[: len(im.Text) : len(im.Text)]
+	out.Data = im.Data[: len(im.Data) : len(im.Data)]
+	out.Relocs = im.Relocs[: len(im.Relocs) : len(im.Relocs)]
+	return &out
 }
 
 // UseCaseT2Image builds the on-demand radar task t2, padded so that its

@@ -209,11 +209,20 @@ type MPU struct {
 	slots   [NumSlots]Rule
 	used    [NumSlots]bool
 	enabled bool
+
+	// gen counts configuration changes (rule installs/clears, enable,
+	// reset). Decision caches outside the unit key their entries on it:
+	// any reconfiguration invalidates every memoized verdict. See
+	// span.go.
+	gen uint64
 }
 
 // Enable switches enforcement on. Secure boot installs the static rules
 // first and then enables the unit.
-func (m *MPU) Enable() { m.enabled = true }
+func (m *MPU) Enable() {
+	m.enabled = true
+	m.gen++
+}
 
 // Enabled reports whether enforcement is active.
 func (m *MPU) Enabled() bool { return m.enabled }
@@ -291,6 +300,7 @@ func (m *MPU) Install(slot int, r Rule) error {
 	}
 	m.slots[slot] = r
 	m.used[slot] = true
+	m.gen++
 	return nil
 }
 
@@ -308,6 +318,7 @@ func (m *MPU) Clear(slot int) error {
 	}
 	m.slots[slot] = Rule{}
 	m.used[slot] = false
+	m.gen++
 	return nil
 }
 
@@ -321,6 +332,9 @@ func (m *MPU) ClearOwner(owner uint32) int {
 			m.used[i] = false
 			n++
 		}
+	}
+	if n > 0 {
+		m.gen++
 	}
 	return n
 }
@@ -339,6 +353,12 @@ func (m *MPU) Protected(addr uint32) bool {
 // CheckData validates a read or write of size bytes at addr performed by
 // code executing at pc. It returns nil if allowed and a *Violation
 // otherwise.
+//
+// Regions are page-less, so deciding the first and last byte suffices
+// for the small (1/4 byte) accesses the core performs. The two boundary
+// checks are unrolled, and when the rule granting the first byte also
+// covers the last byte the second slot scan is skipped entirely — the
+// common case for aligned word accesses inside a task's own region.
 func (m *MPU) CheckData(pc uint32, kind AccessKind, addr, size uint32) error {
 	if !m.enabled {
 		return nil
@@ -346,18 +366,24 @@ func (m *MPU) CheckData(pc uint32, kind AccessKind, addr, size uint32) error {
 	if size == 0 {
 		size = 1
 	}
-	// Check each boundary byte; regions are page-less, so covering the
-	// first and last byte with the same decision suffices for the small
-	// (1/4 byte) accesses the core performs.
-	for _, a := range [...]uint32{addr, addr + size - 1} {
-		if err := m.checkByte(pc, kind, a); err != nil {
-			return err
-		}
+	granted, err := m.checkByte(pc, kind, addr)
+	if err != nil {
+		return err
 	}
-	return nil
+	last := addr + size - 1
+	if last == addr {
+		return nil
+	}
+	if granted >= 0 && m.slots[granted].Data.Contains(last) {
+		return nil // the same rule grants both boundary bytes
+	}
+	_, err = m.checkByte(pc, kind, last)
+	return err
 }
 
-func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) error {
+// checkByte decides one byte. It returns the index of the granting slot
+// (-1 when the byte is public unclaimed memory) or a *Violation.
+func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) (int, error) {
 	need := kind.perm()
 	claimed := false
 	for i := 0; i < NumSlots; i++ {
@@ -372,13 +398,13 @@ func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) error {
 			claimed = true
 		}
 		if ru.appliesTo(pc) && ru.Perm&need != 0 {
-			return nil
+			return i, nil
 		}
 	}
 	if !claimed {
-		return nil // unclaimed memory is public
+		return -1, nil // unclaimed memory is public
 	}
-	return &Violation{PC: pc, Kind: kind, Addr: addr}
+	return -1, &Violation{PC: pc, Kind: kind, Addr: addr}
 }
 
 // CheckExec validates an instruction fetch at addr. fromPC is the
@@ -435,7 +461,11 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 
 // Reset returns the unit to its zero state (all slots free, disabled).
 // Only the simulator harness uses it; real hardware resets on power
-// cycle.
+// cycle. The generation counter survives (and advances) so that caches
+// keyed on it cannot mistake the post-reset configuration for a
+// pre-reset one.
 func (m *MPU) Reset() {
+	gen := m.gen
 	*m = MPU{}
+	m.gen = gen + 1
 }

@@ -47,10 +47,13 @@ func (m *Machine) deviceAt(addr uint32) (Device, uint32, error) {
 // Read32 performs an EA-MPU-checked 32-bit read in the current execution
 // context.
 func (m *Machine) Read32(addr uint32) (uint32, error) {
+	if v, ok := m.read32Fast(addr); ok {
+		return v, nil
+	}
 	if addr%4 != 0 {
 		return 0, &BusError{Addr: addr, Why: "misaligned 32-bit read"}
 	}
-	if err := m.MPU.CheckData(m.execPC, eampu.AccessRead, addr, 4); err != nil {
+	if err := m.checkData(eampu.AccessRead, addr, 4); err != nil {
 		return 0, err
 	}
 	return m.RawRead32(addr)
@@ -59,10 +62,13 @@ func (m *Machine) Read32(addr uint32) (uint32, error) {
 // Write32 performs an EA-MPU-checked 32-bit write in the current
 // execution context.
 func (m *Machine) Write32(addr, v uint32) error {
+	if m.write32Fast(addr, v) {
+		return nil
+	}
 	if addr%4 != 0 {
 		return &BusError{Addr: addr, Why: "misaligned 32-bit write"}
 	}
-	if err := m.MPU.CheckData(m.execPC, eampu.AccessWrite, addr, 4); err != nil {
+	if err := m.checkData(eampu.AccessWrite, addr, 4); err != nil {
 		return err
 	}
 	return m.RawWrite32(addr, v)
@@ -70,7 +76,7 @@ func (m *Machine) Write32(addr, v uint32) error {
 
 // Read8 performs an EA-MPU-checked byte read.
 func (m *Machine) Read8(addr uint32) (byte, error) {
-	if err := m.MPU.CheckData(m.execPC, eampu.AccessRead, addr, 1); err != nil {
+	if err := m.checkData(eampu.AccessRead, addr, 1); err != nil {
 		return 0, err
 	}
 	if m.isMMIO(addr) {
@@ -85,7 +91,7 @@ func (m *Machine) Read8(addr uint32) (byte, error) {
 
 // Write8 performs an EA-MPU-checked byte write.
 func (m *Machine) Write8(addr uint32, v byte) error {
-	if err := m.MPU.CheckData(m.execPC, eampu.AccessWrite, addr, 1); err != nil {
+	if err := m.checkData(eampu.AccessWrite, addr, 1); err != nil {
 		return err
 	}
 	if m.isMMIO(addr) {
@@ -95,6 +101,7 @@ func (m *Machine) Write8(addr uint32, v byte) error {
 	if err != nil {
 		return err
 	}
+	m.noteRAMWrite(i, 1)
 	m.ram[i] = v
 	return nil
 }
@@ -129,6 +136,7 @@ func (m *Machine) RawWrite32(addr, v uint32) error {
 	if err != nil {
 		return err
 	}
+	m.noteRAMWrite(i, 4)
 	binary.LittleEndian.PutUint32(m.ram[i:], v)
 	return nil
 }
@@ -140,18 +148,32 @@ func (m *Machine) LoadBytes(addr uint32, b []byte) error {
 	if err != nil {
 		return err
 	}
+	m.noteRAMWrite(i, len(b))
 	copy(m.ram[i:], b)
 	return nil
 }
 
-// ReadBytes copies n bytes of RAM starting at addr, bypassing the EA-MPU.
-func (m *Machine) ReadBytes(addr, n uint32) ([]byte, error) {
+// RAMView returns a view aliasing [addr, addr+n) of RAM, bypassing the
+// EA-MPU, without copying. Callers must treat the slice as read-only
+// and must not hold it across a mutation of the underlying memory; the
+// fetch path and measurement code use it to avoid per-access
+// allocation.
+func (m *Machine) RAMView(addr, n uint32) ([]byte, error) {
 	i, err := m.ramIndex(addr, n)
 	if err != nil {
 		return nil, err
 	}
+	return m.ram[i : i+int(n) : i+int(n)], nil
+}
+
+// ReadBytes copies n bytes of RAM starting at addr, bypassing the EA-MPU.
+func (m *Machine) ReadBytes(addr, n uint32) ([]byte, error) {
+	view, err := m.RAMView(addr, n)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, n)
-	copy(out, m.ram[i:])
+	copy(out, view)
 	return out, nil
 }
 
@@ -161,6 +183,7 @@ func (m *Machine) ZeroBytes(addr, n uint32) error {
 	if err != nil {
 		return err
 	}
+	m.noteRAMWrite(i, int(n))
 	for j := 0; j < int(n); j++ {
 		m.ram[i+j] = 0
 	}

@@ -8,25 +8,41 @@ import "repro/internal/isa"
 // becomes deliverable.
 
 // fetch reads and decodes the instruction at EIP, enforcing execute
-// permission and entry-point rules.
+// permission and entry-point rules. The fast path serves both the
+// permission verdict and the decoded form from caches (fastpath.go);
+// the reference path runs the full EA-MPU scan and a fresh decode.
+// Either way the decode reads straight out of RAM with the window
+// clamped at the end of memory — no per-fetch allocation.
 func (m *Machine) fetch() (isa.Instruction, *Fault) {
-	sequential := !m.branched
-	if err := m.MPU.CheckExec(m.lastPC, m.eip, sequential); err != nil {
+	if m.FastPath {
+		return m.fetchFast()
+	}
+	if err := m.MPU.CheckExec(m.lastPC, m.eip, !m.branched); err != nil {
 		return isa.Instruction{}, &Fault{PC: m.eip, Why: "instruction fetch", Wrap: err}
 	}
-	buf, err := m.ReadBytes(m.eip, 8)
-	if err != nil {
-		// Retry a 4-byte read at the very end of RAM.
-		buf, err = m.ReadBytes(m.eip, 4)
-		if err != nil {
-			return isa.Instruction{}, &Fault{PC: m.eip, Why: "instruction fetch", Wrap: err}
-		}
+	return m.decodeAt(m.eip)
+}
+
+// stepFault charges the faulting instruction's cost and packages the
+// fault. Out of line so Step's hot body stays closure-free.
+func (m *Machine) stepFault(cost uint64, why string, err error) RunResult {
+	m.Charge(cost)
+	return RunResult{Reason: StopFault, Fault: &Fault{PC: m.lastPC, Why: why, Wrap: err}}
+}
+
+// setFlags computes the Z/N/C flags of a CMP between a and b.
+func (m *Machine) setFlags(a, b uint32) {
+	var f uint32
+	if a == b {
+		f |= isa.FlagZ
 	}
-	in, _, derr := isa.Decode(buf)
-	if derr != nil || !in.Op.Valid() {
-		return isa.Instruction{}, &Fault{PC: m.eip, Why: "illegal instruction"}
+	if int32(a) < int32(b) {
+		f |= isa.FlagN
 	}
-	return in, nil
+	if a < b {
+		f |= isa.FlagC
+	}
+	m.eflags = f
 }
 
 // Step executes one instruction. It returns the trap outcome: StopBudget
@@ -36,6 +52,7 @@ func (m *Machine) Step() RunResult {
 	if fault != nil {
 		return RunResult{Reason: StopFault, Fault: fault}
 	}
+	m.insnRetired++
 	if m.OnStep != nil {
 		m.OnStep(m.eip, in)
 	}
@@ -44,31 +61,6 @@ func (m *Machine) Step() RunResult {
 	m.branched = false
 	next := m.eip + in.Width()
 	cost := InstructionCost(in.Op)
-
-	fail := func(why string, err error) RunResult {
-		m.Charge(cost)
-		return RunResult{Reason: StopFault, Fault: &Fault{PC: m.lastPC, Why: why, Wrap: err}}
-	}
-	setFlags := func(a, b uint32) {
-		var f uint32
-		if a == b {
-			f |= isa.FlagZ
-		}
-		if int32(a) < int32(b) {
-			f |= isa.FlagN
-		}
-		if a < b {
-			f |= isa.FlagC
-		}
-		m.eflags = f
-	}
-	branch := func(taken bool) {
-		if taken {
-			next = m.lastPC + in.Width() + uint32(int32(in.Imm))*4
-			m.branched = true
-			cost += branchTakenExtra
-		}
-	}
 
 	switch in.Op {
 	case isa.OpNOP:
@@ -87,22 +79,22 @@ func (m *Machine) Step() RunResult {
 	case isa.OpLD:
 		v, err := m.Read32(m.regs[in.Rs] + uint32(int32(in.Imm)))
 		if err != nil {
-			return fail("load", err)
+			return m.stepFault(cost, "load", err)
 		}
 		m.regs[in.Rd] = v
 	case isa.OpST:
 		if err := m.Write32(m.regs[in.Rd]+uint32(int32(in.Imm)), m.regs[in.Rs]); err != nil {
-			return fail("store", err)
+			return m.stepFault(cost, "store", err)
 		}
 	case isa.OpLDB:
 		v, err := m.Read8(m.regs[in.Rs] + uint32(int32(in.Imm)))
 		if err != nil {
-			return fail("load byte", err)
+			return m.stepFault(cost, "load byte", err)
 		}
 		m.regs[in.Rd] = uint32(v)
 	case isa.OpSTB:
 		if err := m.Write8(m.regs[in.Rd]+uint32(int32(in.Imm)), byte(m.regs[in.Rs])); err != nil {
-			return fail("store byte", err)
+			return m.stepFault(cost, "store byte", err)
 		}
 	case isa.OpADD:
 		m.regs[in.Rd] += m.regs[in.Rs]
@@ -123,30 +115,39 @@ func (m *Machine) Step() RunResult {
 	case isa.OpMUL:
 		m.regs[in.Rd] *= m.regs[in.Rs]
 	case isa.OpCMP:
-		setFlags(m.regs[in.Rd], m.regs[in.Rs])
+		m.setFlags(m.regs[in.Rd], m.regs[in.Rs])
 	case isa.OpCMPI:
-		setFlags(m.regs[in.Rd], uint32(int32(in.Imm)))
-	case isa.OpJMP:
-		branch(true)
-	case isa.OpBEQ:
-		branch(m.eflags&isa.FlagZ != 0)
-	case isa.OpBNE:
-		branch(m.eflags&isa.FlagZ == 0)
-	case isa.OpBLT:
-		branch(m.eflags&isa.FlagN != 0)
-	case isa.OpBGE:
-		branch(m.eflags&isa.FlagN == 0)
-	case isa.OpBLTU:
-		branch(m.eflags&isa.FlagC != 0)
-	case isa.OpBGEU:
-		branch(m.eflags&isa.FlagC == 0)
+		m.setFlags(m.regs[in.Rd], uint32(int32(in.Imm)))
+	case isa.OpJMP, isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		var taken bool
+		switch in.Op {
+		case isa.OpJMP:
+			taken = true
+		case isa.OpBEQ:
+			taken = m.eflags&isa.FlagZ != 0
+		case isa.OpBNE:
+			taken = m.eflags&isa.FlagZ == 0
+		case isa.OpBLT:
+			taken = m.eflags&isa.FlagN != 0
+		case isa.OpBGE:
+			taken = m.eflags&isa.FlagN == 0
+		case isa.OpBLTU:
+			taken = m.eflags&isa.FlagC != 0
+		case isa.OpBGEU:
+			taken = m.eflags&isa.FlagC == 0
+		}
+		if taken {
+			next = m.lastPC + in.Width() + uint32(int32(in.Imm))*4
+			m.branched = true
+			cost += branchTakenExtra
+		}
 	case isa.OpJR:
 		next = m.regs[in.Rs]
 		m.branched = true
 	case isa.OpCALL, isa.OpCALLR:
 		sp := m.regs[isa.SP] - 4
 		if err := m.Write32(sp, next); err != nil {
-			return fail("call push", err)
+			return m.stepFault(cost, "call push", err)
 		}
 		m.regs[isa.SP] = sp
 		if in.Op == isa.OpCALL {
@@ -158,7 +159,7 @@ func (m *Machine) Step() RunResult {
 	case isa.OpRET:
 		v, err := m.Read32(m.regs[isa.SP])
 		if err != nil {
-			return fail("ret pop", err)
+			return m.stepFault(cost, "ret pop", err)
 		}
 		m.regs[isa.SP] += 4
 		next = v
@@ -166,13 +167,13 @@ func (m *Machine) Step() RunResult {
 	case isa.OpPUSH:
 		sp := m.regs[isa.SP] - 4
 		if err := m.Write32(sp, m.regs[in.Rs]); err != nil {
-			return fail("push", err)
+			return m.stepFault(cost, "push", err)
 		}
 		m.regs[isa.SP] = sp
 	case isa.OpPOP:
 		v, err := m.Read32(m.regs[isa.SP])
 		if err != nil {
-			return fail("pop", err)
+			return m.stepFault(cost, "pop", err)
 		}
 		m.regs[in.Rd] = v
 		m.regs[isa.SP] += 4

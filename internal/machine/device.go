@@ -21,6 +21,26 @@ type IRQSource interface {
 	Due(cycle uint64) (line int, due bool)
 }
 
+// irqScheduler is optionally implemented by IRQSources that can predict
+// the earliest cycle at which Due could next report true. Charge uses
+// it to skip the per-instruction poll between events; a source that
+// also implements scheduleNotifier tells the machine when its schedule
+// changes so the prediction is never stale. Sources without it are
+// simply polled every Charge, as before.
+type irqScheduler interface {
+	// nextDue returns the earliest cycle Due could report true, and
+	// whether the source is scheduled to fire at all. It has no side
+	// effects.
+	nextDue() (cycle uint64, scheduled bool)
+}
+
+// scheduleNotifier is optionally implemented by IRQSources to receive a
+// hook they must call whenever their firing schedule changes (e.g. a
+// register write enabling or retiming them).
+type scheduleNotifier interface {
+	setScheduleHook(func())
+}
+
 // Standard device page numbers (page n occupies MMIOBase + n*MMIOWindow).
 const (
 	PageTimer    = 0
@@ -44,6 +64,10 @@ func (m *Machine) MapDevice(page uint32, d Device) {
 	m.devices[page] = d
 	if s, ok := d.(IRQSource); ok {
 		m.sources = append(m.sources, s)
+		if n, ok := s.(scheduleNotifier); ok {
+			n.setScheduleHook(func() { m.pollAt = 0 })
+		}
+		m.pollAt = 0
 	}
 }
 
@@ -70,6 +94,7 @@ type Timer struct {
 	period   uint64
 	nextFire uint64
 	fired    uint64
+	changed  func() // schedule-change hook, see scheduleNotifier
 }
 
 // NewTimer creates a timer reading simulated time from clock.
@@ -112,6 +137,20 @@ func (t *Timer) Write(off uint32, v uint32) {
 			t.nextFire = t.clock() + t.period
 		}
 	}
+	if t.changed != nil {
+		t.changed()
+	}
+}
+
+// setScheduleHook implements scheduleNotifier.
+func (t *Timer) setScheduleHook(f func()) { t.changed = f }
+
+// nextDue implements irqScheduler.
+func (t *Timer) nextDue() (uint64, bool) {
+	if !t.enabled || t.period == 0 {
+		return 0, false
+	}
+	return t.nextFire, true
 }
 
 // Due implements IRQSource.
@@ -271,6 +310,7 @@ type NIC struct {
 	interval uint64
 	nextRx   uint64
 	rx       uint64
+	changed  func() // schedule-change hook, see scheduleNotifier
 }
 
 // NewNIC creates a quiet network interface.
@@ -300,6 +340,20 @@ func (n *NIC) Write(off uint32, v uint32) {
 	if n.interval > 0 {
 		n.nextRx = n.clock() + n.interval
 	}
+	if n.changed != nil {
+		n.changed()
+	}
+}
+
+// setScheduleHook implements scheduleNotifier.
+func (n *NIC) setScheduleHook(f func()) { n.changed = f }
+
+// nextDue implements irqScheduler.
+func (n *NIC) nextDue() (uint64, bool) {
+	if n.interval == 0 {
+		return 0, false
+	}
+	return n.nextRx, true
 }
 
 // Due implements IRQSource.

@@ -1,0 +1,364 @@
+package machine
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/eampu"
+	"repro/internal/isa"
+)
+
+// The interpreter fast path. Two caches take the per-instruction cost of
+// simulation off the hot loop without changing a single architecturally
+// visible bit:
+//
+//   - a decoded-instruction cache: a direct-mapped predecode table keyed
+//     by physical address, filled on first fetch straight out of m.ram
+//     (no allocation, no copy) and consulted on every later fetch;
+//
+//   - an EA-MPU decision cache: memoized CheckExec/CheckData "allow"
+//     verdicts stored as constant-verdict address spans (see
+//     eampu.ExecSpan/DataSpan/CodeSpan), so straight-line execution and
+//     repeated loads/stores inside a task reduce to O(1) range tests
+//     instead of the 18-slot rule scan.
+//
+// Both caches are invalidated by a single machine-level generation
+// counter (m.gen): it is bumped whenever a RAM write overlaps a cached
+// code line (detected by probing the direct-mapped table for the few
+// slots whose lines could cover the written bytes) and whenever the
+// EA-MPU configuration changes (observed via eampu.MPU.Generation).
+// Entries tag the generation they were filled under; a mismatch makes
+// them invisible, so invalidation is O(1).
+//
+// Determinism: the caches only ever short-circuit host work. Cycle
+// charging comes from InstructionCost and the cost tables, never from
+// host effort, and every cache miss or denied access falls back to the
+// reference implementation, so cycle counts, fault PCs and trace output
+// are bit-for-bit identical with FastPath on and off. The differential
+// tests in fastpath_test.go and fastpath_boot_test.go enforce this.
+
+// FastPathDefault is the FastPath setting New gives fresh machines. The
+// differential tests flip it to run whole firmware stacks on the
+// reference path.
+var FastPathDefault = true
+
+const (
+	// icacheBits sizes the direct-mapped predecode table (1<<icacheBits
+	// entries, indexed by word address). 1024 entries cover 4 KiB of
+	// straight-line code per alias set — plenty for the paper's task
+	// images — while keeping the table cheap to allocate per machine.
+	icacheBits = 10
+	icacheSize = 1 << icacheBits
+
+	// dcacheWays is the number of decision-cache entries per access
+	// kind, indexed by a hash of execution context and target page so
+	// interleaved bus masters (a running task, the trusted loader, the
+	// Int Mux saving/restoring contexts of different tasks) each keep
+	// their own memoized span instead of evicting each other.
+	dcacheBits = 5
+	dcacheWays = 1 << dcacheBits
+
+	// execWays is the number of memoized fetch spans, indexed by a hash
+	// of the fetching PC so alternating tasks (plus the idle loop)
+	// survive context switches without re-running the slot scan.
+	execBits = 3
+	execWays = 1 << execBits
+
+	// hashMul spreads all address bits into a cache index (Fibonacci
+	// hashing): task placements can differ in a single high bit that a
+	// plain shift-and-mask index would discard.
+	hashMul = 0x9E3779B1
+
+	// dirtyPageBits sizes the dirty-page granule (4 KiB); dirtyWords
+	// bitmap words cover the default 4 MiB memory map with room to
+	// spare. Release clears only dirtied pages of a recycled buffer.
+	dirtyPageBits = 12
+	dirtyWords    = (64 << 20) >> dirtyPageBits / 64
+)
+
+// ramPool recycles RAM buffers between machines: the evaluation harness
+// builds a fresh multi-megabyte platform per measurement, and zeroing
+// that much memory dominated host time. Pooled buffers are re-zeroed up
+// to their dirty watermark before reuse (every RAM mutation funnels
+// through noteRAMWrite, which maintains the watermark), so a recycled
+// machine is bit-for-bit indistinguishable from a freshly allocated
+// one. Buffers enter the pool only through an explicit Release call.
+var ramPool sync.Pool
+
+// getRAM returns a zeroed buffer of exactly size bytes, recycled from
+// the pool when one of the right size is available.
+func getRAM(size uint32) []byte {
+	if v := ramPool.Get(); v != nil {
+		if b := *(v.(*[]byte)); len(b) == int(size) {
+			return b
+		}
+		// Wrong size: drop it and let the GC have it.
+	}
+	return make([]byte, size)
+}
+
+// Release returns the machine's RAM buffer to the pool, zeroed up to
+// the dirty watermark. The machine must not be used afterwards, and the
+// caller must not retain slices obtained from RAMView/ReadBytes-free
+// accessors into its memory. Calling Release is optional — an
+// un-released machine is simply collected by the GC.
+func (m *Machine) Release() {
+	b := m.ram
+	m.ram = nil
+	if b == nil {
+		return
+	}
+	if m.ramHi > uint32(len(b)) {
+		m.ramHi = uint32(len(b))
+	}
+	if int(m.ramHi) > len(m.dirty)<<dirtyPageBits<<6 {
+		// RAM larger than the bitmap covers: clear the whole dirty
+		// prefix. Does not happen for the default memory map.
+		clear(b[:m.ramHi])
+	} else {
+		// Dirty pages are sparse (firmware low, task arena high): clear
+		// only pages that saw a write since the buffer was fresh.
+		for wi, word := range m.dirty {
+			for word != 0 {
+				bit := uint(0)
+				for ; word&(1<<bit) == 0; bit++ {
+				}
+				word &^= 1 << bit
+				lo := (uint32(wi)<<6 | uint32(bit)) << dirtyPageBits
+				hi := lo + 1<<dirtyPageBits
+				if hi > m.ramHi {
+					hi = m.ramHi
+				}
+				if lo < hi {
+					clear(b[lo:hi])
+				}
+			}
+		}
+	}
+	m.dirty = [dirtyWords]uint64{}
+	ramPool.Put(&b)
+}
+
+// icEntry is one predecoded instruction. Valid iff gen matches the
+// machine generation (gen 0 never occurs: m.gen starts at 1).
+type icEntry struct {
+	pc  uint32
+	gen uint32
+	in  isa.Instruction
+}
+
+// execSpan memoizes a CheckExec "allow": any fetch whose source and
+// target PC both lie in [lo, hi] is allowed while gen matches.
+type execSpan struct {
+	gen    uint32
+	lo, hi uint32
+}
+
+// dataSpan memoizes a CheckData "allow" for one access kind: any access
+// whose executing PC lies in [codeLo, codeHi] and whose first and last
+// byte lie in [dataLo, dataHi] is allowed while gen matches.
+type dataSpan struct {
+	gen            uint32
+	codeLo, codeHi uint32
+	dataLo, dataHi uint32
+}
+
+// syncMPUGen folds EA-MPU reconfigurations into the machine generation.
+func (m *Machine) syncMPUGen() {
+	if g := m.MPU.Generation(); g != m.mpuGen {
+		m.mpuGen = g
+		m.bumpGen()
+	}
+}
+
+// bumpGen invalidates every cached decode and decision by advancing the
+// generation. Stale entries can no longer match, so until the next fill
+// there is no cached code to guard against writes.
+func (m *Machine) bumpGen() {
+	m.gen++
+	m.codeLo, m.codeHi = eampu.MaxAddr, 0
+}
+
+// noteRAMWrite is called by every path that mutates RAM with the byte
+// offset and length of the write (it also maintains the dirty-RAM
+// watermark that Release uses to recycle the buffer). A write outside
+// [codeLo, codeHi] — the address range holding cached code this
+// generation — cannot touch a cached line and costs one range check;
+// that covers ordinary data and stack traffic. Inside the range, a
+// cached line covering any written byte must map to one of the table
+// slots whose word index falls in [firstWord-2, lastWord] (an entry
+// starting up to 7 bytes before the write can still cover it), so
+// probing those slots detects every overlap. A write that truly lands
+// in cached code — self-modifying code, a reloaded task image —
+// advances the generation.
+func (m *Machine) noteRAMWrite(off, n int) {
+	if n <= 0 {
+		return
+	}
+	if hi := uint32(off) + uint32(n); hi > m.ramHi {
+		m.ramHi = hi
+	}
+	p0 := uint32(off) >> dirtyPageBits
+	if p1 := (uint32(off) + uint32(n) - 1) >> dirtyPageBits; p1 == p0 {
+		m.dirty[(p0>>6)%dirtyWords] |= 1 << (p0 & 63)
+	} else if int(p1>>6) < len(m.dirty) {
+		for p := p0; p <= p1; p++ {
+			m.dirty[p>>6] |= 1 << (p & 63)
+		}
+	}
+	a := RAMBase + uint32(off)
+	last := a + uint32(n) - 1
+	if last < m.codeLo || a > m.codeHi {
+		return
+	}
+	w0 := a>>2 - 2
+	w1 := last >> 2
+	for w := w0; w <= w1; w++ {
+		e := &m.icache[w&(icacheSize-1)]
+		if e.gen == m.gen && e.pc <= last && a <= e.pc+e.in.Width()-1 {
+			m.bumpGen()
+			return
+		}
+	}
+}
+
+// decodeAt decodes the instruction at pc directly from RAM without
+// copying. The 8-byte decode window is clamped once at the end of RAM
+// (isa.Decode needs 4 bytes, or 8 for LDI32, and reports truncation
+// itself), replacing the old allocate-copy-retry dance in fetch.
+func (m *Machine) decodeAt(pc uint32) (isa.Instruction, *Fault) {
+	if pc < RAMBase {
+		return isa.Instruction{}, &Fault{PC: pc, Why: "instruction fetch",
+			Wrap: &BusError{Addr: pc, Why: "unmapped low memory"}}
+	}
+	off := uint64(pc - RAMBase)
+	if off+4 > uint64(len(m.ram)) {
+		return isa.Instruction{}, &Fault{PC: pc, Why: "instruction fetch",
+			Wrap: &BusError{Addr: pc, Why: "beyond end of RAM"}}
+	}
+	end := off + 8
+	if end > uint64(len(m.ram)) {
+		end = uint64(len(m.ram))
+	}
+	in, _, derr := isa.Decode(m.ram[off:end])
+	if derr != nil || !in.Op.Valid() {
+		return isa.Instruction{}, &Fault{PC: pc, Why: "illegal instruction"}
+	}
+	return in, nil
+}
+
+// fetchFast is the cached fetch: an O(1) exec-permission span test plus
+// a direct-mapped predecode lookup. Every miss goes through the exact
+// reference checks, so faults are identical to the slow path.
+func (m *Machine) fetchFast() (isa.Instruction, *Fault) {
+	m.syncMPUGen()
+	pc := m.eip
+	e := &m.exec[(pc>>8)*hashMul>>(32-execBits)]
+	if !(e.gen == m.gen && e.lo <= pc && pc <= e.hi && e.lo <= m.lastPC && m.lastPC <= e.hi) {
+		if err := m.MPU.CheckExec(m.lastPC, pc, !m.branched); err != nil {
+			return isa.Instruction{}, &Fault{PC: pc, Why: "instruction fetch", Wrap: err}
+		}
+		lo, hi := m.MPU.ExecSpan(pc)
+		*e = execSpan{gen: m.gen, lo: lo, hi: hi}
+	}
+	if m.icache == nil {
+		m.icache = make([]icEntry, icacheSize)
+	}
+	ic := &m.icache[(pc>>2)&(icacheSize-1)]
+	if ic.gen == m.gen && ic.pc == pc {
+		return ic.in, nil
+	}
+	in, fault := m.decodeAt(pc)
+	if fault != nil {
+		return isa.Instruction{}, fault
+	}
+	*ic = icEntry{pc: pc, gen: m.gen, in: in}
+	if pc < m.codeLo {
+		m.codeLo = pc
+	}
+	if end := pc + in.Width() - 1; end > m.codeHi {
+		m.codeHi = end
+	}
+	return in, nil
+}
+
+// read32Fast serves an aligned RAM word read entirely from the decision
+// cache: on a hit the access is known-allowed and the value comes
+// straight out of m.ram. ok=false falls back to the reference bus path
+// (including all fault cases, which stay byte-for-byte identical).
+func (m *Machine) read32Fast(addr uint32) (uint32, bool) {
+	if !m.FastPath || addr&3 != 0 || addr < RAMBase {
+		return 0, false
+	}
+	off := addr - RAMBase
+	if uint64(off)+4 > uint64(len(m.ram)) {
+		return 0, false
+	}
+	m.syncMPUGen()
+	pc := m.execPC
+	e := &m.dcache[eampu.AccessRead][(pc^addr>>8)*hashMul>>(32-dcacheBits)]
+	if e.gen == m.gen &&
+		e.codeLo <= pc && pc <= e.codeHi &&
+		e.dataLo <= addr && addr+3 <= e.dataHi {
+		return binary.LittleEndian.Uint32(m.ram[off:]), true
+	}
+	return 0, false
+}
+
+// write32Fast is the store-side counterpart of read32Fast; it performs
+// the write (including dirty tracking and code-line invalidation probes)
+// only on a decision-cache hit.
+func (m *Machine) write32Fast(addr, v uint32) bool {
+	if !m.FastPath || addr&3 != 0 || addr < RAMBase {
+		return false
+	}
+	off := addr - RAMBase
+	if uint64(off)+4 > uint64(len(m.ram)) {
+		return false
+	}
+	m.syncMPUGen()
+	pc := m.execPC
+	e := &m.dcache[eampu.AccessWrite][(pc^addr>>8)*hashMul>>(32-dcacheBits)]
+	if e.gen == m.gen &&
+		e.codeLo <= pc && pc <= e.codeHi &&
+		e.dataLo <= addr && addr+3 <= e.dataHi {
+		m.noteRAMWrite(int(off), 4)
+		binary.LittleEndian.PutUint32(m.ram[off:], v)
+		return true
+	}
+	return false
+}
+
+// checkData dispatches a data-access check through the decision cache
+// (fast path) or straight to the EA-MPU (reference path). kind must be
+// AccessRead or AccessWrite.
+func (m *Machine) checkData(kind eampu.AccessKind, addr, size uint32) error {
+	if !m.FastPath {
+		return m.MPU.CheckData(m.execPC, kind, addr, size)
+	}
+	m.syncMPUGen()
+	pc := m.execPC
+	last := addr + size - 1
+	// Index by execution context and target page: the Int Mux touches
+	// every task's context-save area from one fixed PC, so a PC-only
+	// index would alternate between spans on every context switch.
+	e := &m.dcache[kind][(pc^addr>>8)*hashMul>>(32-dcacheBits)]
+	if e.gen == m.gen &&
+		e.codeLo <= pc && pc <= e.codeHi &&
+		e.dataLo <= addr && addr <= e.dataHi &&
+		e.dataLo <= last && last <= e.dataHi {
+		return nil
+	}
+	if err := m.MPU.CheckData(pc, kind, addr, size); err != nil {
+		return err
+	}
+	dLo, dHi := m.MPU.DataSpan(addr)
+	if last < dLo || last > dHi {
+		// The access straddles a covering-set boundary; the combined
+		// verdict has no constant span, so leave the cache alone.
+		return nil
+	}
+	cLo, cHi := m.MPU.CodeSpan(pc)
+	*e = dataSpan{gen: m.gen, codeLo: cLo, codeHi: cHi, dataLo: dLo, dataHi: dHi}
+	return nil
+}

@@ -124,10 +124,43 @@ type RunResult struct {
 type Machine struct {
 	MPU *eampu.MPU
 
+	// FastPath enables the interpreter fast path (decoded-instruction
+	// cache + EA-MPU decision cache, see fastpath.go). Either setting
+	// produces bit-for-bit identical architectural behaviour — cycles,
+	// faults, traces; the knob only selects how much host work each
+	// instruction costs. New initializes it from FastPathDefault.
+	FastPath bool
+
 	ram     []byte
 	cycles  uint64
 	devices map[uint32]Device // MMIO page index -> device
 	sources []IRQSource
+	// pollAt is the earliest cycle any interrupt source could next
+	// assert (0 = unknown, poll now). Charge skips the per-instruction
+	// source scan while cycles stay below it; devices reset it to 0
+	// through their schedule-change hook whenever reprogrammed.
+	pollAt uint64
+
+	// Fast-path caches (fastpath.go). gen is the machine generation all
+	// cache entries are tagged with; mpuGen mirrors the last observed
+	// EA-MPU configuration generation.
+	gen    uint32
+	mpuGen uint64
+	icache []icEntry
+	exec   [execWays]execSpan
+	dcache [2][dcacheWays]dataSpan // [AccessRead/AccessWrite][execPC hash]
+	// codeLo/codeHi bound the addresses holding cached code this
+	// generation: writes outside the range skip line-overlap probing.
+	codeLo, codeHi uint32
+	// ramHi is the dirty-RAM watermark (highest written offset + 1) and
+	// dirty the 4 KiB dirty-page bitmap; Release re-zeroes only dirtied
+	// pages to recycle the buffer.
+	ramHi uint32
+	dirty [dirtyWords]uint64
+
+	// insnRetired counts instructions the CPU has begun executing (a
+	// host-throughput denominator; not an architectural quantity).
+	insnRetired uint64
 
 	// CPU state.
 	regs     [isa.NumRegs]uint32
@@ -161,11 +194,19 @@ func New(ramSize uint32) *Machine {
 	}
 	return &Machine{
 		MPU:        &eampu.MPU{},
-		ram:        make([]byte, ramSize),
+		FastPath:   FastPathDefault,
+		ram:        getRAM(ramSize),
 		devices:    make(map[uint32]Device),
 		enabledIRQ: ^uint32(0),
+		gen:        1, // zero-valued cache entries must never match
+		codeLo:     eampu.MaxAddr,
 	}
 }
+
+// InsnRetired returns the number of instructions the CPU has started
+// executing since reset. It is host-telemetry (the denominator of the
+// host-MIPS metric), not a paper quantity.
+func (m *Machine) InsnRetired() uint64 { return m.insnRetired }
 
 // RAMSize returns the amount of mapped RAM in bytes.
 func (m *Machine) RAMSize() uint32 { return uint32(len(m.ram)) }
@@ -181,6 +222,18 @@ func (m *Machine) Cycles() uint64 { return m.cycles }
 // native firmware code is running.
 func (m *Machine) Charge(n uint64) {
 	m.cycles += n
+	// While cycles stay below pollAt no source can report due: every
+	// source told us (via nextDue) when it could next fire, and any
+	// reprogramming since would have reset pollAt. The body stays tiny
+	// so it inlines into the interpreter loop.
+	if m.cycles >= m.pollAt {
+		m.pollSources()
+	}
+}
+
+// pollSources drains every due interrupt source and recomputes the poll
+// watermark.
+func (m *Machine) pollSources() {
 	for _, s := range m.sources {
 		for {
 			line, due := s.Due(m.cycles)
@@ -190,6 +243,24 @@ func (m *Machine) Charge(n uint64) {
 			m.RaiseIRQ(line)
 		}
 	}
+	m.pollAt = m.nextDue()
+}
+
+// nextDue computes the earliest cycle any interrupt source could next
+// report due, or 0 (always poll) when some source cannot say.
+func (m *Machine) nextDue() uint64 {
+	next := ^uint64(0)
+	for _, s := range m.sources {
+		sch, ok := s.(irqScheduler)
+		if !ok {
+			return 0
+		}
+		cycle, scheduled := sch.nextDue()
+		if scheduled && cycle < next {
+			next = cycle
+		}
+	}
+	return next
 }
 
 // --- Interrupt controller -------------------------------------------------

@@ -124,23 +124,26 @@ func (s *State) compress(block []byte) {
 		w[i] = t<<1 | t>>31
 	}
 	a, b, c, d, e := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4]
-	for i := 0; i < 80; i++ {
-		var f, k uint32
-		switch {
-		case i < 20:
-			f = (b & c) | (^b & d)
-			k = 0x5A827999
-		case i < 40:
-			f = b ^ c ^ d
-			k = 0x6ED9EBA1
-		case i < 60:
-			f = (b & c) | (b & d) | (c & d)
-			k = 0x8F1BBCDC
-		default:
-			f = b ^ c ^ d
-			k = 0xCA62C1D6
-		}
-		t := (a<<5 | a>>27) + f + e + k + w[i]
+	// One loop per round group keeps the f/k selection out of the round
+	// body (the per-round switch showed up in load benchmarks).
+	for i := 0; i < 20; i++ {
+		f := (b & c) | (^b & d)
+		t := (a<<5 | a>>27) + f + e + 0x5A827999 + w[i]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, t
+	}
+	for i := 20; i < 40; i++ {
+		f := b ^ c ^ d
+		t := (a<<5 | a>>27) + f + e + 0x6ED9EBA1 + w[i]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, t
+	}
+	for i := 40; i < 60; i++ {
+		f := (b & c) | (b & d) | (c & d)
+		t := (a<<5 | a>>27) + f + e + 0x8F1BBCDC + w[i]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, t
+	}
+	for i := 60; i < 80; i++ {
+		f := b ^ c ^ d
+		t := (a<<5 | a>>27) + f + e + 0xCA62C1D6 + w[i]
 		e, d, c, b, a = d, c, b<<30|b>>2, a, t
 	}
 	s.h[0] += a

@@ -102,6 +102,9 @@ type MeasureJob struct {
 	// reverted counts relocation fixups reverted while hashing.
 	reverted int
 	onDone   func(sha1.Digest)
+	// buf is the scratch block readBlock fills; reused across Steps so
+	// hashing a large image does not allocate per block.
+	buf [sha1.BlockSize]byte
 }
 
 // NewMeasureJob prepares the measurement of the image loaded at base.
@@ -197,7 +200,7 @@ func (j *MeasureJob) Run() (uint64, error) {
 // readBlock reads n bytes of task memory through the checked bus in the
 // RTM's protection context (its boot grant covers task regions).
 func (j *MeasureJob) readBlock(off, n uint32) ([]byte, error) {
-	block := make([]byte, n)
+	block := j.buf[:n]
 	var err error
 	j.rtm.m.WithExecContext(RTMBase, func() {
 		addr := j.base + off
