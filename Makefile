@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench tables interp-bench clean
+.PHONY: all build vet test race chaos check bench tables interp-bench clean
 
 all: build
 
@@ -16,9 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the gate CI and pre-commit should run: build, vet, and the
-# full test suite under the race detector.
-check: build vet race
+# chaos runs the seeded fault-injection scenario across the fixed seed
+# matrix with the race detector on: bit flips, IRQ storms, rogue tasks
+# and a faulty attestation link against the trusted supervisor.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/benchlab/
+
+# check is the gate CI and pre-commit should run: build, vet, the full
+# test suite under the race detector, and the chaos scenario.
+check: build vet race chaos
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

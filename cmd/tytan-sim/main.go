@@ -8,17 +8,22 @@
 //	tytan-sim task1.telf task2.telf      # load and run TELF images
 //	tytan-sim -ms 50 -normal task.telf   # run 50 ms, load as normal task
 //	tytan-sim -baseline task.telf        # unmodified-FreeRTOS baseline
+//	tytan-sim -faults seed=7 task.telf   # seeded fault injection + recovery
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/telf"
+	"repro/internal/trusted"
 )
 
 func main() {
@@ -29,18 +34,74 @@ func main() {
 	baseline := flag.Bool("baseline", false, "boot the unmodified-FreeRTOS baseline")
 	prio := flag.Int("prio", 3, "task priority (0-7)")
 	verbose := flag.Bool("v", false, "trace kernel events")
+	faults := flag.String("faults", "", `seeded fault injection: "seed=N[,classes=bitflips+irqstorms][,period=N]" — corrupts task RAM and raises IRQ storms while the trusted supervisor restarts and quarantines faulting tasks`)
 	flag.Parse()
 
-	if err := run(*describe, *ms, *normal, *baseline, *prio, *verbose, *itrace, flag.Args()); err != nil {
+	if err := run(*describe, *ms, *normal, *baseline, *prio, *verbose, *itrace, *faults, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "tytan-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(describe bool, ms float64, normal, baseline bool, prio int, verbose bool, itrace int, files []string) error {
+// parseFaultSpec parses the -faults flag value.
+func parseFaultSpec(spec string) (faultinject.Config, error) {
+	cfg := faultinject.Config{Classes: faultinject.BitFlips | faultinject.IRQStorms}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad -faults entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "period":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad period %q: %v", v, err)
+			}
+			cfg.MeanPeriod = n
+		case "classes":
+			var c faultinject.Class
+			for _, name := range strings.Split(v, "+") {
+				switch name {
+				case "bitflips":
+					c |= faultinject.BitFlips
+				case "irqstorms":
+					c |= faultinject.IRQStorms
+				default:
+					return cfg, fmt.Errorf("unknown fault class %q (bitflips, irqstorms)", name)
+				}
+			}
+			cfg.Classes = c
+		default:
+			return cfg, fmt.Errorf("unknown -faults key %q (seed, classes, period)", k)
+		}
+	}
+	return cfg, nil
+}
+
+func run(describe bool, ms float64, normal, baseline bool, prio int, verbose bool, itrace int, faults string, files []string) error {
 	p, err := core.NewPlatform(core.Options{Baseline: baseline})
 	if err != nil {
 		return err
+	}
+	var inj *faultinject.Injector
+	if faults != "" {
+		if baseline {
+			return fmt.Errorf("-faults needs the trusted platform (drop -baseline)")
+		}
+		cfg, err := parseFaultSpec(faults)
+		if err != nil {
+			return err
+		}
+		inj = faultinject.NewInjector(cfg)
+		if _, err := p.EnableSupervision(trusted.SupervisorPolicy{}); err != nil {
+			return err
+		}
 	}
 	if verbose {
 		p.K.OnTrace = func(cycle uint64, event string) {
@@ -70,6 +131,7 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 	if normal || baseline {
 		kind = core.Normal
 	}
+	var targets []faultinject.TargetRange
 	for _, f := range files {
 		blob, err := os.ReadFile(f)
 		if err != nil {
@@ -88,11 +150,35 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 		} else {
 			fmt.Printf("loaded %q as task %d at %#x\n", im.Name, tcb.ID, tcb.Placement.Base)
 		}
+		if inj != nil {
+			targets = append(targets, faultinject.TargetRange{
+				Start: tcb.Placement.Base,
+				Size:  tcb.Placement.Size(),
+			})
+			inj.SetTargets(targets...)
+			if err := p.Watch(tcb.ID); err != nil {
+				return err
+			}
+		}
 	}
 
 	cycles := machine.MillisToCycles(ms)
-	if err := p.Run(cycles); err != nil {
-		return err
+	if inj == nil {
+		if err := p.Run(cycles); err != nil {
+			return err
+		}
+	} else {
+		// Inject at slice boundaries so fault timing derives only from
+		// the seed and the cycle counter.
+		const slice = 20_000
+		for p.Cycles() < cycles {
+			if err := p.Run(slice); err != nil {
+				return err
+			}
+			if err := inj.Advance(p.M); err != nil {
+				return err
+			}
+		}
 	}
 
 	maxLat, meanLat, nLat := p.K.IRQLatency()
@@ -106,6 +192,24 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 	for _, t := range p.K.Tasks() {
 		fmt.Printf("task %d %-12q %-8s prio %d  activations %d  cpu %d cycles\n",
 			t.ID, t.Name, t.State, t.Priority, t.Activations, t.CPUCycles)
+	}
+	if exits := p.K.Exits(); len(exits) > 0 {
+		fmt.Println("exits:")
+		for _, rec := range exits {
+			fmt.Printf("  [%12d] task %d %-12q %s\n", rec.Reason.Cycle, rec.ID, rec.Name, rec.Reason)
+		}
+	}
+	if inj != nil {
+		fmt.Printf("injected faults (seed-deterministic):\n")
+		for _, e := range inj.Events() {
+			fmt.Printf("  [%12d] %-10s %s\n", e.Cycle, e.Class, e.Detail)
+		}
+		if sup := p.Sup; sup != nil && len(sup.Events()) > 0 {
+			fmt.Println("supervisor:")
+			for _, e := range sup.Events() {
+				fmt.Printf("  [%12d] %-12s %-14s %s\n", e.Cycle, e.Task, e.What, e.Detail)
+			}
+		}
 	}
 	return nil
 }

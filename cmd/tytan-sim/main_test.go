@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/faultinject"
 )
 
 func writeImage(t *testing.T, dir string) string {
@@ -36,36 +37,65 @@ main:
 }
 
 func TestDescribe(t *testing.T) {
-	if err := run(true, 1, false, false, 3, false, 0, nil); err != nil {
+	if err := run(true, 1, false, false, 3, false, 0, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSecure(t *testing.T) {
 	path := writeImage(t, t.TempDir())
-	if err := run(false, 5, false, false, 3, false, 8, []string{path}); err != nil {
+	if err := run(false, 5, false, false, 3, false, 8, "", []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBaselineNormal(t *testing.T) {
 	path := writeImage(t, t.TempDir())
-	if err := run(false, 5, true, true, 3, false, 0, []string{path}); err != nil {
+	if err := run(false, 5, true, true, 3, false, 0, "", []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	path := writeImage(t, t.TempDir())
+	if err := run(false, 5, false, false, 3, false, 0, "seed=7,period=50000", []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, 1, false, false, 3, false, 0, nil); err == nil {
+	if err := run(false, 1, false, false, 3, false, 0, "", nil); err == nil {
 		t.Error("no images accepted")
 	}
-	if err := run(false, 1, false, false, 3, false, 0, []string{"/nonexistent.telf"}); err == nil {
+	if err := run(false, 1, false, false, 3, false, 0, "", []string{"/nonexistent.telf"}); err == nil {
 		t.Error("missing image accepted")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.telf")
 	os.WriteFile(bad, []byte("junk"), 0o644)
-	if err := run(false, 1, false, false, 3, false, 0, []string{bad}); err == nil {
+	if err := run(false, 1, false, false, 3, false, 0, "", []string{bad}); err == nil {
 		t.Error("junk image accepted")
+	}
+	path := writeImage(t, dir)
+	if err := run(false, 1, false, true, 3, false, 0, "seed=1", []string{path}); err == nil {
+		t.Error("-faults accepted with -baseline")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cfg, err := parseFaultSpec("seed=0x2a,classes=bitflips+irqstorms,period=90000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 0x2a || cfg.MeanPeriod != 90000 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Classes != faultinject.BitFlips|faultinject.IRQStorms {
+		t.Errorf("classes = %v", cfg.Classes)
+	}
+	for _, bad := range []string{"seed", "seed=x", "classes=nukes", "bogus=1", "period=x"} {
+		if _, err := parseFaultSpec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

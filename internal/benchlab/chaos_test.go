@@ -1,0 +1,134 @@
+package benchlab
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// chaosSeeds is the fixed seed matrix; `make chaos` runs it with the
+// race detector on.
+var chaosSeeds = []uint64{1, 7, 42, 1337, 0xDEADBEEF}
+
+func seedsForMode(t *testing.T) []uint64 {
+	if testing.Short() {
+		return chaosSeeds[:2]
+	}
+	return chaosSeeds
+}
+
+// TestChaosInvariants: every seed's full fault load leaves the trust
+// anchor standing (RunChaos fails internally otherwise).
+func TestChaosInvariants(t *testing.T) {
+	for _, seed := range seedsForMode(t) {
+		seed := seed
+		t.Run(fmt0x(seed), func(t *testing.T) {
+			res, err := RunChaos(ChaosConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TrustedChecks == 0 {
+				t.Error("no integrity checks ran")
+			}
+			if len(res.InjEvents) == 0 {
+				t.Error("no faults injected")
+			}
+			if res.RogueRestarts == 0 {
+				t.Error("rogue never restarted before quarantine")
+			}
+			t.Logf("seed %#x: %d cycles, %d injections, %d sup events, conn faults %v, attest attempts restart=%d victim=%d",
+				seed, res.Cycles, len(res.InjEvents), len(res.SupEvents),
+				res.ConnFaults, res.RestartAttempts, res.VictimAttempts)
+		})
+	}
+}
+
+// TestChaosDeterminism: identical seeds produce identical transcripts —
+// cycle counts included. This is the replayability guarantee that makes
+// a chaos failure debuggable.
+func TestChaosDeterminism(t *testing.T) {
+	seeds := seedsForMode(t)[:2]
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt0x(seed), func(t *testing.T) {
+			a, err := RunChaos(ChaosConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunChaos(ChaosConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cycles != b.Cycles {
+				t.Errorf("cycle counts diverged: %d != %d", a.Cycles, b.Cycles)
+			}
+			if !reflect.DeepEqual(a.InjEvents, b.InjEvents) {
+				t.Error("injection logs diverged")
+			}
+			if !reflect.DeepEqual(a.SupEvents, b.SupEvents) {
+				t.Error("supervisor logs diverged")
+			}
+			if !reflect.DeepEqual(a.ConnFaults, b.ConnFaults) {
+				t.Error("connection fault logs diverged")
+			}
+			if a.RestartAttempts != b.RestartAttempts || a.VictimAttempts != b.VictimAttempts {
+				t.Errorf("attestation attempt counts diverged: %d/%d != %d/%d",
+					a.RestartAttempts, a.VictimAttempts, b.RestartAttempts, b.VictimAttempts)
+			}
+		})
+	}
+}
+
+// TestChaosSeedsDiffer: different seeds genuinely explore different
+// fault sequences.
+func TestChaosSeedsDiffer(t *testing.T) {
+	a, err := RunChaos(ChaosConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ChaosConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.InjEvents, b.InjEvents) {
+		t.Error("different seeds produced identical injection logs")
+	}
+}
+
+// TestChaosClassMasks: each class can run alone; invariants hold under
+// reduced fault loads too.
+func TestChaosClassMasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in long mode only")
+	}
+	masks := []faultinject.Class{
+		faultinject.BitFlips | faultinject.RogueTasks,
+		faultinject.IRQStorms | faultinject.RogueTasks,
+		faultinject.RogueTasks | faultinject.ConnFaults,
+		faultinject.BitFlips | faultinject.IRQStorms, // no rogue: liveness only
+	}
+	for _, m := range masks {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			if _, err := RunChaos(ChaosConfig{Seed: 42, Classes: m}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func fmt0x(v uint64) string {
+	const hex = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var b [16]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = hex[v&0xF]
+		v >>= 4
+	}
+	return "0x" + string(b[i:])
+}

@@ -93,6 +93,8 @@ type Platform struct {
 	K *rtos.Kernel
 	// C holds the trusted components; nil in the baseline configuration.
 	C *trusted.Components
+	// Sup is the trusted supervisor; nil until EnableSupervision.
+	Sup *trusted.Supervisor
 
 	UART     *machine.UART
 	Pedal    *machine.Sensor

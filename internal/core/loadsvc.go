@@ -196,17 +196,26 @@ func (s *loaderService) runSync(req *LoadRequest) error {
 }
 
 // fail transitions a request into LoadFailed, releasing whatever it
-// holds.
+// holds. A partially-streamed job is aborted first — relocations
+// reverted, the touched extent scrubbed — so the region goes back to the
+// allocator with no remnants of the dead task's code.
 func (s *loaderService) fail(req *LoadRequest, err error) uint64 {
 	req.err = fmt.Errorf("%w: %v", ErrLoadFailed, err)
 	req.phase = LoadFailed
+	var used uint64
+	if req.job != nil && !req.job.Aborted() {
+		// Best effort: if the teardown itself faults (the bus is the
+		// thing that failed), the partial cost is still charged.
+		cost, _ := req.job.Abort()
+		used += cost
+	}
 	if req.tcb != nil {
 		s.p.K.Unload(req.tcb.ID)
 		req.tcb = nil
 	} else if req.base != 0 {
 		s.p.K.Alloc.Free(req.base)
 	}
-	return 0
+	return used
 }
 
 // advance performs at most budget cycles of work on req and returns the

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+)
+
+// ConnConfig parameterizes a FaultyConn.
+type ConnConfig struct {
+	// Seed drives the fault choices.
+	Seed uint64
+	// MaxFaults bounds how many writes are disturbed; once the budget
+	// is spent the connection behaves perfectly, so a retrying peer
+	// always converges (0 = 2).
+	MaxFaults int
+	// Percent is the chance (0–100) that a write within budget is
+	// disturbed (0 = 60).
+	Percent int
+}
+
+func (c ConnConfig) withDefaults() ConnConfig {
+	if c.MaxFaults == 0 {
+		c.MaxFaults = 2
+	}
+	if c.Percent == 0 {
+		c.Percent = 60
+	}
+	return c
+}
+
+// FaultyConn wraps a net.Conn with seeded write-path faults: a write
+// may be silently dropped (the peer's read deadline fires), truncated
+// mid-frame, or corrupted. Reads pass through untouched — disturbing
+// one direction is enough to exercise every receiver path, and it keeps
+// cause and effect attributable. Faults stop once MaxFaults is spent.
+type FaultyConn struct {
+	net.Conn
+	rng    *RNG
+	budget int
+	pct    int
+	faults []string
+}
+
+// WrapConn builds the wrapper.
+func WrapConn(c net.Conn, cfg ConnConfig) *FaultyConn {
+	cfg = cfg.withDefaults()
+	return &FaultyConn{
+		Conn:   c,
+		rng:    NewRNG(cfg.Seed),
+		budget: cfg.MaxFaults,
+		pct:    cfg.Percent,
+	}
+}
+
+// Faults returns the disturbances applied so far.
+func (f *FaultyConn) Faults() []string { return f.faults }
+
+// Write may disturb the outgoing bytes while budget remains.
+func (f *FaultyConn) Write(b []byte) (int, error) {
+	if f.budget > 0 && f.rng.Intn(100) < f.pct {
+		f.budget--
+		switch f.rng.Intn(3) {
+		case 0:
+			// Drop: report success, send nothing. The peer stalls until
+			// its deadline.
+			f.faults = append(f.faults, fmt.Sprintf("drop %dB", len(b)))
+			return len(b), nil
+		case 1:
+			// Truncate: send a prefix, report full success. The peer
+			// sees a short frame and stalls or rejects.
+			n := len(b) / 2
+			f.faults = append(f.faults, fmt.Sprintf("truncate %d/%dB", n, len(b)))
+			if n > 0 {
+				if _, err := f.Conn.Write(b[:n]); err != nil {
+					return 0, err
+				}
+			}
+			return len(b), nil
+		default:
+			// Corrupt: flip a few bytes in a copy.
+			g := append([]byte(nil), b...)
+			for k := 0; k < 3 && len(g) > 0; k++ {
+				g[f.rng.Intn(len(g))] ^= byte(1 + f.rng.Intn(255))
+			}
+			f.faults = append(f.faults, fmt.Sprintf("corrupt %dB", len(b)))
+			return f.Conn.Write(g)
+		}
+	}
+	return f.Conn.Write(b)
+}

@@ -1,0 +1,60 @@
+package faultinject
+
+import "fmt"
+
+// RogueTargets tells the generator where the interesting boundaries
+// are. Addresses are passed in by the caller (the chaos harness knows
+// the platform layout); the generator itself stays layout-agnostic.
+type RogueTargets struct {
+	// TrustedAddr is an address inside a trusted region (e.g. the Int
+	// Mux base): writing it must raise an EA-MPU violation.
+	TrustedAddr uint32
+	// ForeignAddr is an address inside another task's region: writing
+	// it must equally violate.
+	ForeignAddr uint32
+}
+
+// RogueSource generates the assembly of an adversarial task: it behaves
+// for a seed-chosen number of benign delay periods, then probes the
+// isolation boundary one seed-chosen way — a write into a trusted
+// region, a write into a foreign task's region, or an undefined
+// syscall. Every probe must end with the kernel killing the task with a
+// structured fault verdict; none may corrupt anything.
+func RogueSource(rng *RNG, name string, t RogueTargets) string {
+	periods := 2 + rng.Intn(4)
+	delay := 30_000 + rng.Intn(50_000)
+
+	kinds := []string{"trusted-write"}
+	if t.ForeignAddr != 0 {
+		kinds = append(kinds, "foreign-write")
+	}
+	kinds = append(kinds, "bad-syscall")
+	var probe string
+	switch kinds[rng.Intn(len(kinds))] {
+	case "trusted-write":
+		probe = fmt.Sprintf("    ldi32 r1, %#x\n    st [r1+0], r1\n", t.TrustedAddr)
+	case "foreign-write":
+		probe = fmt.Sprintf("    ldi32 r1, %#x\n    st [r1+0], r1\n", t.ForeignAddr)
+	case "bad-syscall":
+		// Outside every defined service number; must exit as a bad
+		// syscall, not be silently ignored.
+		probe = fmt.Sprintf("    svc %d\n", 40+rng.Intn(200))
+	}
+
+	return fmt.Sprintf(`
+.task "%s"
+.entry main
+.stack 128
+.bss 28
+.text
+main:
+    ldi r3, %d
+loop:
+    ldi32 r0, %d
+    svc 2
+    addi r3, -1
+    cmpi r3, 0
+    bne loop
+%s    svc 1
+`, name, periods, delay, probe)
+}

@@ -198,6 +198,8 @@ type Job struct {
 	copyCost  uint64
 	zeroCost  uint64
 	relocCost uint64
+
+	aborted bool
 }
 
 // NewJob prepares a load of im at base. No memory is touched yet.
@@ -299,6 +301,56 @@ func (j *Job) ZeroCost() uint64 { return j.zeroCost }
 // RelocCost returns the cycles spent on the relocation phase (the
 // Table 5 quantity: scan plus per-fixup costs).
 func (j *Job) RelocCost() uint64 { return j.relocCost }
+
+// AppliedRelocs returns how many relocation fixups have been applied so
+// far — what Abort will have to revert.
+func (j *Job) AppliedRelocs() int { return j.reloc }
+
+// Aborted reports whether the job was torn down by Abort.
+func (j *Job) Aborted() bool { return j.aborted }
+
+// touchedExtent returns the number of bytes from Base the job may have
+// written so far.
+func (j *Job) touchedExtent() uint32 {
+	switch j.phase {
+	case PhaseCopy:
+		return j.pos
+	case PhaseZero:
+		return j.p.BSSBase() + j.pos - j.p.Base
+	default:
+		return j.p.BSSBase() + j.p.Image.BSSSize - j.p.Base
+	}
+}
+
+// Abort tears down a partially-performed load so the region can be
+// returned to the allocator with no remnants of the task: applied
+// relocations are reverted (restoring the flash-image bytes, the
+// counterpart of the RTM's RevertInBlock) and the whole touched extent
+// is zeroed. It returns the cycle cost of the teardown; the job is dead
+// afterwards (Step returns ErrJobDone).
+func (j *Job) Abort() (uint64, error) {
+	if j.aborted {
+		return 0, nil
+	}
+	var cost uint64
+	for i := j.reloc - 1; i >= 0; i-- {
+		r := j.p.Image.Relocs[i]
+		if err := RevertRelocation(j.mem, j.p, r); err != nil {
+			return cost, err
+		}
+		cost += FixupCost(r.Kind)
+	}
+	j.reloc = 0
+	if n := j.touchedExtent(); n > 0 {
+		if err := j.mem.ZeroBytes(j.p.Base, n); err != nil {
+			return cost, err
+		}
+		cost += uint64(n) / 4 * machine.CostZeroWord
+	}
+	j.phase, j.pos = PhaseDone, 0
+	j.aborted = true
+	return cost, nil
+}
 
 // Run drives the job to completion in one call and returns the total
 // cycle cost (the non-interruptible path, used by benchmarks measuring

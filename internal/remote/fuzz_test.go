@@ -1,0 +1,87 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frame builds a wire frame with an arbitrary declared length (not
+// necessarily matching the body) for boundary seeds.
+func frame(declared uint32, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(out, declared)
+	copy(out[4:], body)
+	return out
+}
+
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed small frame.
+	f.Add(frame(5, append([]byte{MsgChallenge}, "abcd"...)))
+	// Zero-length frame (rejected).
+	f.Add(frame(0, nil))
+	// Exactly maxFrame: the largest legal frame.
+	f.Add(frame(maxFrame, append([]byte{MsgQuote}, make([]byte, maxFrame-1)...)))
+	// One past the boundary: declared maxFrame+1 (rejected before read).
+	f.Add(frame(maxFrame+1, make([]byte, maxFrame+1)))
+	// Declared huge, body tiny (must not allocate per the prefix and
+	// must not hang).
+	f.Add(frame(0xFFFFFFFF, []byte{1, 2, 3}))
+	// Truncated header and truncated body.
+	f.Add([]byte{5, 0})
+	f.Add(frame(10, []byte{MsgError, 'x'}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Invariants of an accepted frame: within bounds and
+		// reconstructible.
+		if len(payload)+1 > maxFrame {
+			t.Fatalf("accepted frame of %d bytes (> maxFrame)", len(payload)+1)
+		}
+		var buf bytes.Buffer
+		if werr := writeFrame(&buf, typ, payload); werr != nil {
+			t.Fatalf("accepted frame cannot be re-written: %v", werr)
+		}
+		typ2, payload2, rerr := readFrame(&buf)
+		if rerr != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame round-trip mismatch")
+		}
+	})
+}
+
+func FuzzUnmarshalChallenge(f *testing.F) {
+	// Valid challenge.
+	if b, err := marshalChallenge(Challenge{Provider: "oem", TruncID: 1, Nonce: 2}); err == nil {
+		f.Add(b)
+	}
+	// Empty provider.
+	if b, err := marshalChallenge(Challenge{}); err == nil {
+		f.Add(b)
+	}
+	// Maximum provider length.
+	if b, err := marshalChallenge(Challenge{Provider: string(make([]byte, 255))}); err == nil {
+		f.Add(b)
+	}
+	// Length byte promising more than the buffer holds.
+	f.Add([]byte{255, 'a', 'b'})
+	// Truncated trailers.
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := unmarshalChallenge(data)
+		if err != nil {
+			return
+		}
+		b, merr := marshalChallenge(c)
+		if merr != nil {
+			t.Fatalf("accepted challenge cannot be re-marshaled: %v", merr)
+		}
+		if !bytes.Equal(b, data) {
+			t.Fatalf("challenge round-trip mismatch: %x != %x", b, data)
+		}
+	})
+}

@@ -147,10 +147,16 @@ func (a ComponentsAttestor) QuoteByTruncID(provider string, trunc, nonce uint64)
 	return a.C.Attest.QuoteTaskForProvider(provider, e.Task.ID, nonce)
 }
 
-// ServeOne handles a single challenge/response exchange on conn. The
-// device side calls it per connection (or in a loop for persistent
-// connections).
+// ServeOne handles a single challenge/response exchange on conn with
+// the default I/O deadline. The device side calls it per connection;
+// persistent connections use ServeConn.
 func ServeOne(conn net.Conn, att Attestor) error {
+	return ServeOneTimeout(conn, att, DefaultIOTimeout)
+}
+
+// serveExchange is one challenge/response exchange (no deadline
+// handling; the callers wrap it).
+func serveExchange(conn net.Conn, att Attestor) error {
 	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return err
@@ -173,25 +179,32 @@ func ServeOne(conn net.Conn, att Attestor) error {
 }
 
 // Serve accepts connections on l and answers one challenge per
-// connection until Accept fails (listener closed).
+// connection until Accept fails (listener closed). A misbehaving
+// connection — malformed frames, stalls past the deadline — is dropped
+// and serving continues; one bad peer cannot take the attestation
+// service down for everyone else.
 func Serve(l net.Listener, att Attestor) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		err = ServeOne(conn, att)
+		ServeOne(conn, att)
 		conn.Close()
-		if err != nil && !errors.Is(err, io.EOF) {
-			return err
-		}
 	}
 }
 
-// Attest runs the verifier side of one exchange on conn: send the
-// challenge, receive the quote, verify it against the expected full
-// identity using the given verifier. It returns the verified quote.
+// Attest runs the verifier side of one exchange on conn with the
+// default I/O deadline: send the challenge, receive the quote, verify
+// it against the expected full identity using the given verifier. It
+// returns the verified quote. Flaky-network callers use AttestRetry.
 func Attest(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64) (trusted.Quote, error) {
+	return AttestTimeout(conn, v, provider, expected, nonce, DefaultIOTimeout)
+}
+
+// attestExchange is the verifier side of one exchange (no deadline
+// handling; the callers wrap it).
+func attestExchange(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64) (trusted.Quote, error) {
 	payload, err := marshalChallenge(Challenge{
 		Provider: provider,
 		TruncID:  expected.TruncatedID(),

@@ -1,0 +1,181 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/sha1"
+	"repro/internal/trusted"
+)
+
+// Robustness layer: deadlines on every exchange, bounded retry with
+// exponential backoff on the verifier side, and a per-connection error
+// budget on the device side. A flaky or hostile network can delay an
+// attestation verdict but can never hang either endpoint or wedge the
+// server on one bad peer.
+
+// DefaultIOTimeout bounds one exchange's network I/O when the caller
+// does not specify a deadline.
+const DefaultIOTimeout = 2 * time.Second
+
+// Robustness errors.
+var (
+	// ErrTimeout wraps network timeouts so callers can match them
+	// without digging for net.Error.
+	ErrTimeout = errors.New("remote: i/o timeout")
+	// ErrErrorBudget means a connection produced more protocol errors
+	// than the server tolerates and was dropped.
+	ErrErrorBudget = errors.New("remote: connection error budget exhausted")
+)
+
+// wrapTimeout rewraps network timeout errors in ErrTimeout, leaving
+// everything else (including io.EOF) untouched.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
+// withDeadline runs f with an absolute I/O deadline of d from now on
+// conn (cleared afterwards), mapping timeouts to ErrTimeout.
+func withDeadline(conn net.Conn, d time.Duration, f func() error) error {
+	if d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+		defer conn.SetDeadline(time.Time{})
+	}
+	return wrapTimeout(f())
+}
+
+// ServeConfig parameterizes persistent-connection serving.
+type ServeConfig struct {
+	// Timeout bounds each exchange's I/O (0 = DefaultIOTimeout).
+	Timeout time.Duration
+	// ErrorBudget is how many protocol errors (malformed frames, bad
+	// challenges) one connection may produce before it is dropped
+	// (0 = 3).
+	ErrorBudget int
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Timeout == 0 {
+		c.Timeout = DefaultIOTimeout
+	}
+	if c.ErrorBudget == 0 {
+		c.ErrorBudget = 3
+	}
+	return c
+}
+
+// ServeConn answers challenges on a persistent connection until the
+// peer closes it, an exchange times out, a transport error occurs, or
+// the connection exhausts its protocol-error budget. It returns nil on
+// clean shutdown (EOF).
+func ServeConn(conn net.Conn, att Attestor, cfg ServeConfig) error {
+	cfg = cfg.withDefaults()
+	protoErrs := 0
+	for {
+		err := ServeOneTimeout(conn, att, cfg.Timeout)
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			return nil
+		case errors.Is(err, ErrTimeout):
+			return err
+		case errors.Is(err, ErrBadMessage), errors.Is(err, ErrFrameTooLarge):
+			protoErrs++
+			if protoErrs >= cfg.ErrorBudget {
+				return fmt.Errorf("%w: %d protocol errors", ErrErrorBudget, protoErrs)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// RetryConfig parameterizes the verifier's bounded retry.
+type RetryConfig struct {
+	// Attempts is the total number of tries (0 = 3).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// attempt (0 = 10ms).
+	Backoff time.Duration
+	// Timeout bounds each attempt's I/O (0 = DefaultIOTimeout).
+	Timeout time.Duration
+	// Sleep is injectable for tests (nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts == 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = DefaultIOTimeout
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// AttestRetry runs the verifier side with bounded retry: each attempt
+// dials a fresh connection, uses a fresh nonce (base nonce + attempt
+// index, so a replayed or delayed quote from a failed attempt can never
+// satisfy a later one), and bounds its I/O with a deadline. Transport
+// and protocol failures are retried with exponential backoff; an
+// authoritative device answer — a verified quote or an explicit device
+// error (ErrRemote) — ends the loop immediately. Returns the quote, the
+// number of attempts used, and the final error.
+func AttestRetry(dial func() (net.Conn, error), v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64, cfg RetryConfig) (trusted.Quote, int, error) {
+	cfg = cfg.withDefaults()
+	var lastErr error
+	backoff := cfg.Backoff
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			cfg.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		q, err := AttestTimeout(conn, v, provider, expected, nonce+uint64(attempt), cfg.Timeout)
+		conn.Close()
+		if err == nil {
+			return q, attempt + 1, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrRemote) {
+			// The device answered: the task is not attestable. Retrying
+			// cannot change an authoritative refusal.
+			return trusted.Quote{}, attempt + 1, err
+		}
+	}
+	return trusted.Quote{}, cfg.Attempts, fmt.Errorf("remote: attestation failed after %d attempts: %w", cfg.Attempts, lastErr)
+}
+
+// ServeOneTimeout is ServeOne with an explicit per-exchange deadline.
+func ServeOneTimeout(conn net.Conn, att Attestor, d time.Duration) error {
+	return withDeadline(conn, d, func() error { return serveExchange(conn, att) })
+}
+
+// AttestTimeout is Attest with an explicit per-exchange deadline.
+func AttestTimeout(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64, d time.Duration) (trusted.Quote, error) {
+	var q trusted.Quote
+	err := withDeadline(conn, d, func() error {
+		var aerr error
+		q, aerr = attestExchange(conn, v, provider, expected, nonce)
+		return aerr
+	})
+	return q, err
+}

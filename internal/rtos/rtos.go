@@ -164,6 +164,10 @@ type TCB struct {
 	// Accounting.
 	Activations uint64 // times dispatched
 	CPUCycles   uint64 // cycles executed (ISA) or charged (service)
+
+	// Exit records why the task terminated (nil while alive). Set once
+	// by the kernel's exit paths; see exit.go.
+	Exit *ExitReason
 }
 
 // Entry-info register values (delivered in R0 by the entry routine).
@@ -264,8 +268,18 @@ type Kernel struct {
 	// idleCycles counts time the CPU spent with nothing runnable.
 	idleCycles uint64
 
+	// Exit bookkeeping: retained records of every terminated task, in
+	// termination order (see exit.go).
+	exits     map[TaskID]ExitRecord
+	exitOrder []TaskID
+
 	// OnTrace, when set, receives kernel events for diagnostics.
 	OnTrace func(cycle uint64, event string)
+
+	// OnTaskExit, when set, observes every task termination with its
+	// structured reason, after the task has been removed. The trusted
+	// supervisor hooks it to drive restart/quarantine policy.
+	OnTaskExit func(k *Kernel, rec ExitRecord)
 }
 
 // Kernel errors.

@@ -118,7 +118,11 @@ func (k *Kernel) checkStackBounds(t *TCB) bool {
 	}
 	k.trace(fmt.Sprintf("task %d %q stack overflow: sp %#x below %#x, killed",
 		t.ID, t.Name, t.SavedSP, t.Placement.StackBase()))
-	k.removeTask(t)
+	k.removeTaskWith(t, ExitReason{
+		Cause:     ExitStackOverflow,
+		FaultAddr: t.SavedSP,
+		Detail:    fmt.Sprintf("sp %#x below stack base %#x", t.SavedSP, t.Placement.StackBase()),
+	})
 	return true
 }
 
@@ -268,10 +272,16 @@ func (k *Kernel) dispatch(limit uint64) error {
 			if k.current == t {
 				k.current = nil
 				t.State = StateBlocked
+				// A service that wants a periodic wakeup (the trusted
+				// supervisor's watchdog) publishes the next cycle it needs
+				// to run at; the scheduler treats it like a delayed task.
+				if w, ok := t.Service.(interface{ NextWake() uint64 }); ok {
+					t.wakeAt = w.NextWake()
+				}
 			}
 		case NativeDone:
 			k.current = nil
-			k.removeTask(t)
+			k.removeTaskWith(t, ExitReason{Cause: ExitDone})
 		}
 		return nil
 	}
@@ -280,7 +290,7 @@ func (k *Kernel) dispatch(limit uint64) error {
 	if !k.ctxLive {
 		if err := k.IntPath.Restore(k, t); err != nil {
 			k.trace(fmt.Sprintf("task %d %q restore fault: %v", t.ID, t.Name, err))
-			k.removeTask(t)
+			k.removeTaskWith(t, ExitReason{Cause: ExitRestoreFault, Detail: err.Error()})
 			return nil
 		}
 		k.ctxLive = true
@@ -308,11 +318,11 @@ func (k *Kernel) dispatch(limit uint64) error {
 		return k.preemptIfNeeded()
 	case machine.StopHalt:
 		k.trace(fmt.Sprintf("task %d %q halted", t.ID, t.Name))
-		k.removeTask(t)
+		k.removeTaskWith(t, ExitReason{Cause: ExitHalt, PC: k.M.EIP()})
 		return nil
 	case machine.StopFault:
 		k.trace(fmt.Sprintf("task %d %q fault: %v", t.ID, t.Name, res.Fault))
-		k.removeTask(t)
+		k.removeTaskWith(t, faultExitReason(k.M.Cycles(), res.Fault))
 		return nil
 	}
 	return nil

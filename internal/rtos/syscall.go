@@ -34,7 +34,7 @@ func (k *Kernel) handleSyscall(t *TCB, svc uint16) error {
 		k.trace(fmt.Sprintf("task %d %q exited", t.ID, t.Name))
 		k.current = nil
 		k.ctxLive = false
-		k.removeTask(t)
+		k.removeTaskWith(t, ExitReason{Cause: ExitSelf, PC: k.M.EIP()})
 		return nil
 	case SVCDelay:
 		return k.DelayCurrent(uint64(k.M.Reg(isa.R0)))
@@ -59,7 +59,7 @@ func (k *Kernel) handleSyscall(t *TCB, svc uint16) error {
 	k.trace(fmt.Sprintf("task %d %q: unknown svc %d, killed", t.ID, t.Name, svc))
 	k.current = nil
 	k.ctxLive = false
-	k.removeTask(t)
+	k.removeTaskWith(t, ExitReason{Cause: ExitBadSyscall, PC: k.M.EIP(), SVC: svc})
 	return nil
 }
 

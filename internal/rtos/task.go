@@ -148,13 +148,20 @@ func (k *Kernel) CreateTaskFromImage(im *telf.Image, kind TaskKind, prio int) (*
 	return t, nil
 }
 
-// removeTask deletes t from the kernel: hooks, memory reclamation,
-// scheduler cleanup ("Unloading a task requires deleting it from the OS
-// scheduler and reclaiming its memory", §4).
+// removeTask deletes t from the kernel with an administrative reason;
+// fault paths call removeTaskWith directly with their structured cause.
 func (k *Kernel) removeTask(t *TCB) {
+	k.removeTaskWith(t, ExitReason{Cause: ExitKilled})
+}
+
+// removeTaskWith deletes t from the kernel: exit recording, hooks,
+// memory reclamation, scheduler cleanup ("Unloading a task requires
+// deleting it from the OS scheduler and reclaiming its memory", §4).
+func (k *Kernel) removeTaskWith(t *TCB, reason ExitReason) {
 	if t.State == StateDead {
 		return
 	}
+	rec := k.recordExit(t, reason)
 	if k.Hooks != nil {
 		k.Hooks.TaskExiting(k, t)
 	}
@@ -177,6 +184,9 @@ func (k *Kernel) removeTask(t *TCB) {
 			break
 		}
 	}
+	if k.OnTaskExit != nil {
+		k.OnTaskExit(k, rec)
+	}
 }
 
 // Unload kills a task by ID (the dynamic unloading of §4).
@@ -190,7 +200,7 @@ func (k *Kernel) Unload(id TaskID) error {
 		// memory is about to be reclaimed anyway, but hooks may hash it).
 		k.ctxLive = false
 	}
-	k.removeTask(t)
+	k.removeTaskWith(t, ExitReason{Cause: ExitKilled, Detail: "unloaded"})
 	return nil
 }
 

@@ -33,7 +33,24 @@ type Attest struct {
 	// which allows the creation of individual attestation keys per P",
 	// §3 footnote 2, citing SANCUS).
 	perProvider map[string][]byte
+	// quarantined holds identities the supervisor has condemned; the
+	// platform will not attest them, locally or remotely, even if the
+	// binary is somehow loaded again.
+	quarantined map[sha1.Digest]bool
 }
+
+// Quarantine marks a task identity as untrustworthy. Every later quote
+// request for it fails with ErrQuarantined and LocalAttest denies it.
+func (a *Attest) Quarantine(id sha1.Digest) {
+	if a.quarantined == nil {
+		a.quarantined = make(map[sha1.Digest]bool)
+	}
+	a.quarantined[id] = true
+	a.m.Charge(machine.CostRegistryUpdate)
+}
+
+// Quarantined reports whether an identity is quarantined.
+func (a *Attest) Quarantined(id sha1.Digest) bool { return a.quarantined[id] }
 
 // AttestLabel is the KDF label for attestation keys.
 const AttestLabel = "attest"
@@ -49,6 +66,10 @@ type Quote struct {
 var (
 	ErrQuoteInvalid = errors.New("trusted: attestation quote rejected")
 	ErrKeyDenied    = errors.New("trusted: platform key access denied")
+	// ErrQuarantined is returned when quoting a task whose identity the
+	// supervisor has quarantined: the platform refuses to vouch for a
+	// binary that exhausted its restart budget.
+	ErrQuarantined = errors.New("trusted: task identity quarantined")
 )
 
 // NewAttest creates the Remote Attest component, deriving Ka from the
@@ -87,6 +108,9 @@ func (a *Attest) QuoteTaskForProvider(provider string, id rtos.TaskID, nonce uin
 	e, ok := a.rtm.LookupByTask(id)
 	if !ok {
 		return Quote{}, ErrUnknownIdentity
+	}
+	if a.quarantined[e.ID] {
+		return Quote{}, ErrQuarantined
 	}
 	a.m.Charge(2 * machine.CostMeasurePerBlock)
 	return Quote{
@@ -160,6 +184,9 @@ func (a *Attest) QuoteTask(id rtos.TaskID, nonce uint64) (Quote, error) {
 	if !ok {
 		return Quote{}, ErrUnknownIdentity
 	}
+	if a.quarantined[e.ID] {
+		return Quote{}, ErrQuarantined
+	}
 	// Two SHA-1 passes over a short message.
 	a.m.Charge(2 * machine.CostMeasurePerBlock)
 	return Quote{
@@ -174,8 +201,8 @@ func (a *Attest) QuoteTask(id rtos.TaskID, nonce uint64) (Quote, error) {
 // task can trust the answer because only the RTM writes the registry.
 func (a *Attest) LocalAttest(trunc uint64) bool {
 	a.m.Charge(machine.CostIPCLookupBase + uint64(a.rtm.Entries())*machine.CostIPCLookupPerTask)
-	_, _, err := a.rtm.LookupByTruncID(trunc)
-	return err == nil
+	e, _, err := a.rtm.LookupByTruncID(trunc)
+	return err == nil && !a.quarantined[e.ID]
 }
 
 // Verifier is the remote party: it knows the platform key (in a real
