@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench tables interp-bench clean
+.PHONY: all build vet test race chaos trace-check check bench tables interp-bench clean
 
 all: build
 
@@ -22,9 +22,17 @@ race:
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/benchlab/
 
+# trace-check validates the observability exporters end to end: a short
+# fault-injected sim run with -trace/-metrics/-profile on must produce a
+# Chrome trace that parses, Prometheus text that scrapes, and an event
+# stream identical across two runs of the same seed — under -race.
+trace-check:
+	$(GO) test -race -v -run 'TestTraceCheck' ./cmd/tytan-sim/
+
 # check is the gate CI and pre-commit should run: build, vet, the full
-# test suite under the race detector, and the chaos scenario.
-check: build vet race chaos
+# test suite under the race detector, the chaos scenario, and the
+# observability exporter gate.
+check: build vet race chaos trace-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

@@ -9,107 +9,118 @@
 //	tytan-sim -ms 50 -normal task.telf   # run 50 ms, load as normal task
 //	tytan-sim -baseline task.telf        # unmodified-FreeRTOS baseline
 //	tytan-sim -faults seed=7 task.telf   # seeded fault injection + recovery
+//	tytan-sim -trace t.json task.telf    # export a Chrome trace of the run
+//	tytan-sim -metrics m.prom task.telf  # export Prometheus-style metrics
+//	tytan-sim -profile - task.telf       # print the cycle-attribution profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/telf"
+	"repro/internal/trace"
 	"repro/internal/trusted"
 )
 
-func main() {
-	describe := flag.Bool("describe", false, "print the booted platform's component map and exit")
-	ms := flag.Float64("ms", 100, "simulated milliseconds to run")
-	itrace := flag.Int("itrace", 0, "print the first N executed instructions (disassembled)")
-	normal := flag.Bool("normal", false, "load images as normal (OS-accessible) tasks")
-	baseline := flag.Bool("baseline", false, "boot the unmodified-FreeRTOS baseline")
-	prio := flag.Int("prio", 3, "task priority (0-7)")
-	verbose := flag.Bool("v", false, "trace kernel events")
-	faults := flag.String("faults", "", `seeded fault injection: "seed=N[,classes=bitflips+irqstorms][,period=N]" — corrupts task RAM and raises IRQ storms while the trusted supervisor restarts and quarantines faulting tasks`)
-	flag.Parse()
+// config collects everything one run needs (the flag set, parsed).
+type config struct {
+	describe bool
+	ms       float64
+	itrace   int
+	normal   bool
+	baseline bool
+	prio     int
+	verbose  bool
+	faults   string
+	// Exporter destinations; empty = off, "-" = stdout.
+	tracePath   string
+	metricsPath string
+	profilePath string
+	files       []string
+}
 
-	if err := run(*describe, *ms, *normal, *baseline, *prio, *verbose, *itrace, *faults, flag.Args()); err != nil {
+func main() {
+	var cfg config
+	flag.BoolVar(&cfg.describe, "describe", false, "print the booted platform's component map and exit")
+	flag.Float64Var(&cfg.ms, "ms", 100, "simulated milliseconds to run")
+	flag.IntVar(&cfg.itrace, "itrace", 0, "print the first N executed instructions (disassembled)")
+	flag.BoolVar(&cfg.normal, "normal", false, "load images as normal (OS-accessible) tasks")
+	flag.BoolVar(&cfg.baseline, "baseline", false, "boot the unmodified-FreeRTOS baseline")
+	flag.IntVar(&cfg.prio, "prio", 3, "task priority (0-7)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print typed platform events as they happen")
+	flag.StringVar(&cfg.faults, "faults", "", `seeded fault injection: "seed=N[,classes=bitflips+irqstorms][,period=N]" — corrupts task RAM and raises IRQ storms while the trusted supervisor restarts and quarantines faulting tasks`)
+	flag.StringVar(&cfg.tracePath, "trace", "", `export the run's typed events as Chrome trace_event JSON to this file ("-" = stdout); load into chrome://tracing or Perfetto`)
+	flag.StringVar(&cfg.metricsPath, "metrics", "", `export platform metrics in Prometheus text format to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.profilePath, "profile", "", `export the cycle-attribution profile (cycles per task and per load phase) to this file ("-" = stdout)`)
+	flag.Parse()
+	cfg.files = flag.Args()
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tytan-sim:", err)
 		os.Exit(1)
 	}
 }
 
-// parseFaultSpec parses the -faults flag value.
+// parseFaultSpec parses the -faults flag value (shared format with the
+// chaos harness).
 func parseFaultSpec(spec string) (faultinject.Config, error) {
-	cfg := faultinject.Config{Classes: faultinject.BitFlips | faultinject.IRQStorms}
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return cfg, fmt.Errorf("bad -faults entry %q (want key=value)", kv)
-		}
-		switch k {
-		case "seed":
-			n, err := strconv.ParseUint(v, 0, 64)
-			if err != nil {
-				return cfg, fmt.Errorf("bad seed %q: %v", v, err)
-			}
-			cfg.Seed = n
-		case "period":
-			n, err := strconv.ParseUint(v, 0, 64)
-			if err != nil {
-				return cfg, fmt.Errorf("bad period %q: %v", v, err)
-			}
-			cfg.MeanPeriod = n
-		case "classes":
-			var c faultinject.Class
-			for _, name := range strings.Split(v, "+") {
-				switch name {
-				case "bitflips":
-					c |= faultinject.BitFlips
-				case "irqstorms":
-					c |= faultinject.IRQStorms
-				default:
-					return cfg, fmt.Errorf("unknown fault class %q (bitflips, irqstorms)", name)
-				}
-			}
-			cfg.Classes = c
-		default:
-			return cfg, fmt.Errorf("unknown -faults key %q (seed, classes, period)", k)
-		}
-	}
-	return cfg, nil
+	return faultinject.ParseSpec(spec)
 }
 
-func run(describe bool, ms float64, normal, baseline bool, prio int, verbose bool, itrace int, faults string, files []string) error {
-	p, err := core.NewPlatform(core.Options{Baseline: baseline})
+// exportTo runs write against the named destination ("-" = stdout).
+func exportTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(cfg config) error {
+	p, err := core.NewPlatform(core.Options{Baseline: cfg.baseline})
 	if err != nil {
 		return err
 	}
 	var inj *faultinject.Injector
-	if faults != "" {
-		if baseline {
+	if cfg.faults != "" {
+		if cfg.baseline {
 			return fmt.Errorf("-faults needs the trusted platform (drop -baseline)")
 		}
-		cfg, err := parseFaultSpec(faults)
+		fcfg, err := parseFaultSpec(cfg.faults)
 		if err != nil {
 			return err
 		}
-		inj = faultinject.NewInjector(cfg)
+		inj = faultinject.NewInjector(fcfg)
 		if _, err := p.EnableSupervision(trusted.SupervisorPolicy{}); err != nil {
 			return err
 		}
 	}
-	if verbose {
-		p.K.OnTrace = func(cycle uint64, event string) {
-			fmt.Printf("[%12d] %s\n", cycle, event)
+	var obs *core.Obs
+	if cfg.verbose || cfg.tracePath != "" || cfg.metricsPath != "" || cfg.profilePath != "" {
+		var extra []trace.Sink
+		if cfg.verbose {
+			extra = append(extra, trace.SinkFunc(func(e trace.Event) {
+				fmt.Println(e)
+			}))
 		}
+		obs = p.EnableObservability(extra...)
 	}
-	if itrace > 0 {
-		left := itrace
+	if cfg.itrace > 0 {
+		left := cfg.itrace
 		p.M.OnStep = func(pc uint32, in isa.Instruction) {
 			if left <= 0 {
 				p.M.OnStep = nil
@@ -119,20 +130,20 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 			fmt.Printf("  %08x:  %s\n", pc, in)
 		}
 	}
-	if describe {
+	if cfg.describe {
 		fmt.Print(p.Describe())
 		return nil
 	}
-	if len(files) == 0 {
+	if len(cfg.files) == 0 {
 		return fmt.Errorf("no task images given (or use -describe)")
 	}
 
 	kind := core.Secure
-	if normal || baseline {
+	if cfg.normal || cfg.baseline {
 		kind = core.Normal
 	}
 	var targets []faultinject.TargetRange
-	for _, f := range files {
+	for _, f := range cfg.files {
 		blob, err := os.ReadFile(f)
 		if err != nil {
 			return err
@@ -141,7 +152,7 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
-		tcb, id, err := p.LoadTaskSync(im, kind, prio)
+		tcb, id, err := p.LoadTaskSync(im, kind, cfg.prio)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
@@ -162,16 +173,18 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 		}
 	}
 
-	cycles := machine.MillisToCycles(ms)
+	cycles := machine.MillisToCycles(cfg.ms)
 	if inj == nil {
 		if err := p.Run(cycles); err != nil {
 			return err
 		}
 	} else {
 		// Inject at slice boundaries so fault timing derives only from
-		// the seed and the cycle counter.
+		// the seed and the cycle counter. The budget is relative, like
+		// the un-injected path: loading happens before the clock starts.
 		const slice = 20_000
-		for p.Cycles() < cycles {
+		end := p.Cycles() + cycles
+		for p.Cycles() < end {
 			if err := p.Run(slice); err != nil {
 				return err
 			}
@@ -183,7 +196,7 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 
 	maxLat, meanLat, nLat := p.K.IRQLatency()
 	fmt.Printf("\n--- ran %.1f ms (%d cycles), %d ticks, %d dispatches ---\n",
-		ms, cycles, p.K.Ticks(), p.K.Switches())
+		cfg.ms, cycles, p.K.Ticks(), p.K.Switches())
 	fmt.Printf("cpu utilization: %.1f %%; irq latency mean %.0f / max %d cycles (%d samples)\n",
 		p.K.Utilization()*100, meanLat, maxLat, nLat)
 	if out := p.Output(); out != "" {
@@ -208,6 +221,27 @@ func run(describe bool, ms float64, normal, baseline bool, prio int, verbose boo
 			fmt.Println("supervisor:")
 			for _, e := range sup.Events() {
 				fmt.Printf("  [%12d] %-12s %-14s %s\n", e.Cycle, e.Task, e.What, e.Detail)
+			}
+		}
+	}
+	if obs != nil {
+		if cfg.tracePath != "" {
+			if err := exportTo(cfg.tracePath, obs.WriteChromeTrace); err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+		}
+		if cfg.metricsPath != "" {
+			if err := exportTo(cfg.metricsPath, obs.WriteMetrics); err != nil {
+				return fmt.Errorf("-metrics: %w", err)
+			}
+		}
+		if cfg.profilePath != "" {
+			err := exportTo(cfg.profilePath, func(w io.Writer) error {
+				_, err := io.WriteString(w, obs.Profile().String())
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("-profile: %w", err)
 			}
 		}
 	}

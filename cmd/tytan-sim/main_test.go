@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/faultinject"
+	"repro/internal/trace"
 )
 
 func writeImage(t *testing.T, dir string) string {
@@ -37,48 +39,111 @@ main:
 }
 
 func TestDescribe(t *testing.T) {
-	if err := run(true, 1, false, false, 3, false, 0, "", nil); err != nil {
+	if err := run(config{describe: true, ms: 1, prio: 3}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSecure(t *testing.T) {
 	path := writeImage(t, t.TempDir())
-	if err := run(false, 5, false, false, 3, false, 8, "", []string{path}); err != nil {
+	if err := run(config{ms: 5, prio: 3, itrace: 8, files: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBaselineNormal(t *testing.T) {
 	path := writeImage(t, t.TempDir())
-	if err := run(false, 5, true, true, 3, false, 0, "", []string{path}); err != nil {
+	if err := run(config{ms: 5, normal: true, baseline: true, prio: 3, files: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithFaults(t *testing.T) {
 	path := writeImage(t, t.TempDir())
-	if err := run(false, 5, false, false, 3, false, 0, "seed=7,period=50000", []string{path}); err != nil {
+	if err := run(config{ms: 5, prio: 3, faults: "seed=7,period=50000", files: []string{path}}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, 1, false, false, 3, false, 0, "", nil); err == nil {
+	if err := run(config{ms: 1, prio: 3}); err == nil {
 		t.Error("no images accepted")
 	}
-	if err := run(false, 1, false, false, 3, false, 0, "", []string{"/nonexistent.telf"}); err == nil {
+	if err := run(config{ms: 1, prio: 3, files: []string{"/nonexistent.telf"}}); err == nil {
 		t.Error("missing image accepted")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.telf")
 	os.WriteFile(bad, []byte("junk"), 0o644)
-	if err := run(false, 1, false, false, 3, false, 0, "", []string{bad}); err == nil {
+	if err := run(config{ms: 1, prio: 3, files: []string{bad}}); err == nil {
 		t.Error("junk image accepted")
 	}
 	path := writeImage(t, dir)
-	if err := run(false, 1, false, true, 3, false, 0, "seed=1", []string{path}); err == nil {
+	if err := run(config{ms: 1, baseline: true, prio: 3, faults: "seed=1", files: []string{path}}); err == nil {
 		t.Error("-faults accepted with -baseline")
+	}
+}
+
+// TestTraceCheck is the `make trace-check` gate: a short fault-injected
+// run with every exporter on must produce a Chrome trace that parses, a
+// Prometheus text exposition that scrapes, a non-empty profile — and
+// the exported event stream must be byte-identical across two runs of
+// the same seed.
+func TestTraceCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := writeImage(t, dir)
+	export := func(tag string) (traceFile, metricsFile string) {
+		traceFile = filepath.Join(dir, tag+".trace.json")
+		metricsFile = filepath.Join(dir, tag+".prom")
+		cfg := config{
+			ms: 5, prio: 3,
+			faults:      "seed=7,period=50000",
+			tracePath:   traceFile,
+			metricsPath: metricsFile,
+			profilePath: filepath.Join(dir, tag+".profile"),
+			files:       []string{path},
+		}
+		if err := run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return traceFile, metricsFile
+	}
+	tr1, m1 := export("a")
+	tr2, _ := export("b")
+
+	blob1, err := os.ReadFile(tr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadChromeTrace(bytes.NewReader(blob1))
+	if err != nil {
+		t.Fatalf("Chrome trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("Chrome trace is empty")
+	}
+
+	mblob, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := trace.ParsePrometheus(bytes.NewReader(mblob))
+	if err != nil {
+		t.Fatalf("Prometheus text does not scrape: %v", err)
+	}
+	if samples["tytan_cycles"] == 0 {
+		t.Errorf("tytan_cycles not exported or zero; got %v samples", len(samples))
+	}
+	if samples["tytan_machine_insn_retired"] == 0 {
+		t.Error("tytan_machine_insn_retired not exported or zero")
+	}
+
+	blob2, err := os.ReadFile(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Error("event stream differs between two runs of the same seed")
 	}
 }
 

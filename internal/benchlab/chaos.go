@@ -79,6 +79,13 @@ type ChaosConfig struct {
 	// MaxCycles bounds the run (0 = 25M); hitting the bound with
 	// milestones outstanding is a failure.
 	MaxCycles uint64
+	// MeanPeriod is the injector's average cycle gap (0 = 120_000).
+	MeanPeriod uint64
+	// Observe enables the platform observability layer for the run; the
+	// result's Obs handle then exports the trace, metrics and profile.
+	// Event emission never charges simulated cycles, so the transcript
+	// is identical either way.
+	Observe bool
 }
 
 // ChaosResult is the deterministic transcript of a run. Two runs with
@@ -102,6 +109,34 @@ type ChaosResult struct {
 	RogueRestarts int
 	// TrustedChecks counts integrity verifications that passed.
 	TrustedChecks int
+	// RetryCalls/RetryAttempts/RetryRefusals are the verifier-side
+	// retry totals across every attestation of the run.
+	RetryCalls    uint64
+	RetryAttempts uint64
+	RetryRefusals uint64
+	// WireQuotes/WireDenials count device-side wire exchanges (only
+	// populated when ChaosConfig.Observe is set).
+	WireQuotes  uint64
+	WireDenials uint64
+	// Obs is the observability handle when ChaosConfig.Observe was set.
+	// It is a live view, not part of the deterministic transcript.
+	Obs *core.Obs
+}
+
+// RunChaosSpec runs a chaos scenario from a textual fault spec (the
+// format shared with tytan-sim's -faults flag): seed=, classes= and
+// period= map onto ChaosConfig.
+func RunChaosSpec(spec string, observe bool) (*ChaosResult, error) {
+	fcfg, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunChaos(ChaosConfig{
+		Seed:       fcfg.Seed,
+		Classes:    fcfg.Classes,
+		MeanPeriod: fcfg.MeanPeriod,
+		Observe:    observe,
+	})
 }
 
 // chaosNet dials faulty in-memory connections to the platform's
@@ -213,6 +248,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, err
 	}
 	defer p.Close()
+	if cfg.Observe {
+		res.Obs = p.EnableObservability()
+	}
 	if _, err := p.EnableSupervision(trusted.SupervisorPolicy{
 		MaxRestarts:  2,
 		RestartDelay: 20_000,
@@ -269,10 +307,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 	}
 
+	period := cfg.MeanPeriod
+	if period == 0 {
+		period = 120_000
+	}
 	inj := faultinject.NewInjector(faultinject.Config{
 		Seed:       injSeed,
 		Classes:    cfg.Classes,
-		MeanPeriod: 120_000,
+		MeanPeriod: period,
 	})
 	inj.SetTargets(faultinject.TargetRange{
 		Start: patsy.Placement.Base,
@@ -284,18 +326,27 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, err
 	}
 
+	oem := p.Provider("oem")
+	att := remote.Attestor(remote.ComponentsAttestor{C: p.C})
+	var traced *remote.TracedAttestor
+	if cfg.Observe {
+		traced = &remote.TracedAttestor{Inner: att, Cycles: p.M.Cycles, Obs: res.Obs.Buf}
+		att = traced
+	}
+	retryStats := &remote.RetryStats{}
 	cnet := &chaosNet{
-		att:    remote.ComponentsAttestor{C: p.C},
+		att:    att,
 		chain:  connChain,
 		faulty: cfg.Classes&faultinject.ConnFaults != 0,
 	}
 	attest := func(identity sha1.Digest, nonce uint64) (int, error) {
-		_, attempts, err := remote.AttestRetry(cnet.dial, p.VerifierForProvider("oem"),
-			"oem", identity, nonce, remote.RetryConfig{
+		_, attempts, err := remote.AttestRetry(cnet.dial, oem.Verifier(),
+			oem.Name(), identity, nonce, remote.RetryConfig{
 				Attempts: 8,
 				Backoff:  time.Millisecond,
 				Timeout:  chaosIOTimeout,
 				Sleep:    func(time.Duration) {},
+				Stats:    retryStats,
 			})
 		cnet.settle()
 		return attempts, err
@@ -392,5 +443,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.InjEvents = inj.Events()
 	res.SupEvents = p.Sup.Events()
 	res.ConnFaults = cnet.faults
+	res.RetryCalls, res.RetryAttempts, _, _, res.RetryRefusals = retryStats.Counts()
+	if traced != nil {
+		res.WireQuotes, res.WireDenials = traced.Counts()
+	}
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package benchlab
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"repro/internal/faultinject"
+	"repro/internal/trace"
 )
 
 // chaosSeeds is the fixed seed matrix; `make chaos` runs it with the
@@ -131,4 +133,61 @@ func fmt0x(v uint64) string {
 		v >>= 4
 	}
 	return "0x" + string(b[i:])
+}
+
+// TestChaosObserved: turning the observability layer on must not
+// perturb the chaos transcript — same seed, same cycles, same logs —
+// while the run additionally yields a valid trace, scrapeable metrics,
+// and wire-level attestation counters.
+func TestChaosObserved(t *testing.T) {
+	plain, err := RunChaos(ChaosConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := RunChaosSpec("seed=7,classes=bitflips+irqstorms+rogues+connfaults", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles {
+		t.Errorf("observability changed the transcript: %d != %d cycles", plain.Cycles, observed.Cycles)
+	}
+	if !reflect.DeepEqual(plain.InjEvents, observed.InjEvents) {
+		t.Error("injection logs diverged under observation")
+	}
+	if !reflect.DeepEqual(plain.SupEvents, observed.SupEvents) {
+		t.Error("supervisor logs diverged under observation")
+	}
+
+	if observed.Obs == nil {
+		t.Fatal("no observability handle returned")
+	}
+	var tr bytes.Buffer
+	if err := observed.Obs.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadChromeTrace(bytes.NewReader(tr.Bytes()))
+	if err != nil {
+		t.Fatalf("Chrome trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("Chrome trace is empty")
+	}
+	var pm bytes.Buffer
+	if err := observed.Obs.WriteMetrics(&pm); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := trace.ParsePrometheus(bytes.NewReader(pm.Bytes()))
+	if err != nil {
+		t.Fatalf("metrics do not scrape: %v", err)
+	}
+	if samples["tytan_sup_faults"] == 0 {
+		t.Error("supervisor fault counter zero in a chaos run")
+	}
+	if observed.RetryCalls == 0 || observed.RetryAttempts < observed.RetryCalls {
+		t.Errorf("retry stats implausible: calls=%d attempts=%d",
+			observed.RetryCalls, observed.RetryAttempts)
+	}
+	if observed.WireQuotes == 0 {
+		t.Error("no wire exchanges counted by the traced attestor")
+	}
 }

@@ -132,12 +132,15 @@ func RunUseCase(atomicLoading bool) (UseCaseResult, error) {
 		}
 		return fmt.Sprintf("t%d", v-1)
 	}
-	log := &trace.Log{}
+	log := new(trace.Buffer)
 	for _, c := range p.Engine.Commands() {
-		log.Record(c.Cycle, taskName(c.Value))
+		log.Emit(trace.Event{
+			Cycle: c.Cycle, Sub: trace.SubHarness,
+			Kind: trace.KindActivation, Subject: taskName(c.Value),
+		})
 	}
 	rate := func(task string, from, to uint64) float64 {
-		return log.RateKHz(task, from, to, machine.ClockHz)
+		return log.RateKHz(trace.KindActivation, task, from, to, machine.ClockHz)
 	}
 	windows := [3][2]uint64{{s1, e1}, {s2, e2}, {s3, e3}}
 	for i, w := range windows {
@@ -158,16 +161,16 @@ func RunUseCase(atomicLoading bool) (UseCaseResult, error) {
 	if jTo > e3 {
 		jTo = e3
 	}
-	sub := &trace.Log{}
+	sub := new(trace.Buffer)
 	for _, e := range log.Events() {
-		if e.Name == "t0" && e.Cycle >= jFrom && e.Cycle < jTo {
-			sub.Record(e.Cycle, "t0")
+		if e.Subject == "t0" && e.Cycle >= jFrom && e.Cycle < jTo {
+			sub.Emit(e)
 		}
 	}
-	res.MaxGapDuringLoad = sub.MaxGap("t0")
+	res.MaxGapDuringLoad = sub.MaxGap(trace.KindActivation, "t0")
 	// Missed deadlines: every inter-activation gap beyond 1.5 periods
 	// hides floor(gap/period)-1 lost activations.
-	for _, g := range sub.Gaps("t0") {
+	for _, g := range sub.Gaps(trace.KindActivation, "t0") {
 		if g > useCasePeriod*3/2 {
 			res.Missed += int(g/useCasePeriod) - 1
 		}

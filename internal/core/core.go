@@ -28,6 +28,7 @@ import (
 	"repro/internal/rtos"
 	"repro/internal/sha1"
 	"repro/internal/telf"
+	"repro/internal/trace"
 	"repro/internal/trusted"
 )
 
@@ -109,6 +110,11 @@ type Platform struct {
 	platformKey []byte
 	provider    string
 	staticOnly  bool
+
+	// obs is the platform-wide event sink; nil until
+	// EnableObservability. obsHandle is the exporter handle.
+	obs       trace.Sink
+	obsHandle *Obs
 }
 
 // Platform errors.
@@ -287,16 +293,60 @@ func (p *Platform) Identity(id rtos.TaskID) (sha1.Digest, error) {
 	return e.ID, nil
 }
 
-// Quote produces a remote attestation report for a loaded secure task.
-func (p *Platform) Quote(id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
-	if p.C == nil {
+// ProviderHandle scopes attestation to one stakeholder: quotes MACed
+// under that provider's individual attestation key and the matching
+// verifier. Obtain one from Platform.Provider.
+type ProviderHandle struct {
+	p    *Platform
+	name string
+}
+
+// Provider returns the attestation handle for the named stakeholder
+// (multi-stakeholder attestation, §2/§3). An empty name selects the
+// platform's default provider. The handle is valid on a baseline
+// platform too — its Verifier works, but Quote fails with
+// ErrBaselineOnly.
+func (p *Platform) Provider(name string) ProviderHandle {
+	if name == "" {
+		name = p.provider
+	}
+	return ProviderHandle{p: p, name: name}
+}
+
+// Name returns the provider this handle is scoped to.
+func (h ProviderHandle) Name() string { return h.name }
+
+// Quote produces a remote attestation report for a loaded secure task,
+// MACed under this provider's attestation key.
+func (h ProviderHandle) Quote(id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
+	if h.p.C == nil {
 		return trusted.Quote{}, ErrBaselineOnly
 	}
-	return p.C.Attest.QuoteTask(id, nonce)
+	if h.name == h.p.provider {
+		// The default provider's key is the component's boot-derived Ka;
+		// quoting through it skips the per-provider derivation charge.
+		return h.p.C.Attest.QuoteTask(id, nonce)
+	}
+	return h.p.C.Attest.QuoteTaskForProvider(h.name, id, nonce)
+}
+
+// Verifier returns the remote party holding this provider's
+// attestation key (provisioned out of band from Kp).
+func (h ProviderHandle) Verifier() *trusted.Verifier {
+	return trusted.NewVerifier(h.p.platformKey, h.name)
+}
+
+// Quote produces a remote attestation report for a loaded secure task.
+//
+// Deprecated: use Provider("").Quote.
+func (p *Platform) Quote(id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
+	return p.Provider("").Quote(id, nonce)
 }
 
 // QuoteForProvider produces a quote under an individual provider's
-// attestation key (multi-stakeholder attestation, §2/§3).
+// attestation key.
+//
+// Deprecated: use Provider(provider).Quote.
 func (p *Platform) QuoteForProvider(provider string, id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
 	if p.C == nil {
 		return trusted.Quote{}, ErrBaselineOnly
@@ -306,14 +356,18 @@ func (p *Platform) QuoteForProvider(provider string, id rtos.TaskID, nonce uint6
 
 // VerifierForProvider returns a verifier holding the given provider's
 // attestation key.
+//
+// Deprecated: use Provider(provider).Verifier.
 func (p *Platform) VerifierForProvider(provider string) *trusted.Verifier {
-	return trusted.NewVerifier(p.platformKey, provider)
+	return p.Provider(provider).Verifier()
 }
 
 // Verifier returns a remote verifier provisioned for this platform —
 // the party that knows Kp (out of band) and checks quotes.
+//
+// Deprecated: use Provider("").Verifier.
 func (p *Platform) Verifier() *trusted.Verifier {
-	return trusted.NewVerifier(p.platformKey, p.provider)
+	return p.Provider("").Verifier()
 }
 
 // Seal stores data in the secure-storage slot on behalf of task id.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/rtos"
 	"repro/internal/sha1"
 	"repro/internal/telf"
+	"repro/internal/trace"
 	"repro/internal/trusted"
 )
 
@@ -195,13 +196,42 @@ func (s *loaderService) runSync(req *LoadRequest) error {
 	return req.err
 }
 
+// setPhase transitions a request and reports the new phase on the
+// platform's observability sink. Terminal phases (done, failed) emit
+// richer events from their transition sites instead.
+func (s *loaderService) setPhase(req *LoadRequest, ph LoadPhase) {
+	req.phase = ph
+	if ph == LoadDone || ph == LoadFailed {
+		return
+	}
+	if o := s.p.obs; o != nil {
+		o.Emit(trace.Event{
+			Cycle: s.p.M.Cycles(), Sub: trace.SubLoader,
+			Kind: trace.KindLoadPhase, Subject: req.im.Name,
+			Attrs: []trace.Attr{trace.Str("phase", ph.String())},
+		})
+	}
+}
+
 // fail transitions a request into LoadFailed, releasing whatever it
 // holds. A partially-streamed job is aborted first — relocations
 // reverted, the touched extent scrubbed — so the region goes back to the
 // allocator with no remnants of the dead task's code.
 func (s *loaderService) fail(req *LoadRequest, err error) uint64 {
 	req.err = fmt.Errorf("%w: %v", ErrLoadFailed, err)
+	failedIn := req.phase
 	req.phase = LoadFailed
+	if o := s.p.obs; o != nil {
+		o.Emit(trace.Event{
+			Cycle: s.p.M.Cycles(), Sub: trace.SubLoader,
+			Kind: trace.KindLoadPhase, Subject: req.im.Name,
+			Attrs: []trace.Attr{
+				trace.Str("phase", "failed"),
+				trace.Str("in", failedIn.String()),
+				trace.Str("err", err.Error()),
+			},
+		})
+	}
 	var used uint64
 	if req.job != nil && !req.job.Aborted() {
 		// Best effort: if the teardown itself faults (the bus is the
@@ -227,7 +257,7 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 	switch req.phase {
 	case LoadPending:
 		req.StartCycle = p.M.Cycles()
-		req.phase = LoadAlloc
+		s.setPhase(req, LoadAlloc)
 		return 0
 
 	case LoadAlloc:
@@ -239,7 +269,7 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		req.job = loader.NewJob(p.M, req.im, base)
 		cost := machine.CostAllocBase + uint64(scanned)*machine.CostAllocPerRegion
 		req.Breakdown.Alloc += cost
-		req.phase = LoadStream
+		s.setPhase(req, LoadStream)
 		return cost
 
 	case LoadStream:
@@ -251,7 +281,7 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 			// The job accounts its own phases precisely.
 			req.Breakdown.Copy = req.job.CopyCost() + req.job.ZeroCost()
 			req.Breakdown.Reloc = req.job.RelocCost()
-			req.phase = LoadInstall
+			s.setPhase(req, LoadInstall)
 		}
 		return used
 
@@ -264,9 +294,9 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		req.tcb = tcb
 		req.Breakdown.Install += p.M.Cycles() - before
 		if p.C != nil {
-			req.phase = LoadProtect
+			s.setPhase(req, LoadProtect)
 		} else {
-			req.phase = LoadSchedule
+			s.setPhase(req, LoadSchedule)
 		}
 		return 0
 
@@ -278,9 +308,9 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		req.Breakdown.Protect += p.M.Cycles() - before
 		if req.kind == rtos.KindSecure {
 			req.mjob = p.C.RTM.NewMeasureJob(req.im, req.base, nil)
-			req.phase = LoadMeasure
+			s.setPhase(req, LoadMeasure)
 		} else {
-			req.phase = LoadSchedule
+			s.setPhase(req, LoadSchedule)
 		}
 		return 0
 
@@ -294,7 +324,7 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 			id, _ := req.mjob.Identity()
 			req.identity = id
 			p.C.RTM.Register(req.tcb, req.im, req.job.Placement(), id)
-			req.phase = LoadSchedule
+			s.setPhase(req, LoadSchedule)
 		}
 		return used
 
@@ -306,6 +336,27 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		req.Breakdown.Schedule += p.M.Cycles() - before
 		req.EndCycle = p.M.Cycles()
 		req.phase = LoadDone
+		if o := p.obs; o != nil {
+			// The terminal event carries the full Table 4 breakdown; the
+			// profile exporter attributes load cycles to phases from it.
+			b := req.Breakdown
+			o.Emit(trace.Event{
+				Cycle: req.EndCycle, Sub: trace.SubLoader,
+				Kind: trace.KindLoadPhase, Subject: req.im.Name,
+				Attrs: []trace.Attr{
+					trace.Str("phase", "done"),
+					trace.Num("alloc", b.Alloc),
+					trace.Num("copy", b.Copy),
+					trace.Num("reloc", b.Reloc),
+					trace.Num("install", b.Install),
+					trace.Num("protect", b.Protect),
+					trace.Num("measure", b.Measure),
+					trace.Num("schedule", b.Schedule),
+					trace.Num("total", b.Total()),
+					trace.Num("latency", req.EndCycle-req.StartCycle),
+				},
+			})
+		}
 		return 0
 	}
 	return 0

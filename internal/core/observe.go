@@ -1,0 +1,183 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/trusted"
+)
+
+// Observability wiring: EnableObservability turns on the platform-wide
+// lens — typed events from every subsystem collected into one buffer,
+// per-subsystem metrics in one registry, and the exporters (Chrome
+// trace, Prometheus text, cycle-attribution profile) over both.
+//
+// The lens is pure: emission never charges simulated cycles, gauges are
+// sampled at export time, and with observability off every emission
+// site is a single nil check — the paper's cycle numbers are identical
+// either way.
+
+// Obs is the platform's observability handle.
+type Obs struct {
+	// Buf collects every typed event in emission order.
+	Buf *trace.Buffer
+	// Reg holds the platform metrics (counters, gauges, histograms).
+	Reg *trace.Registry
+
+	p *Platform
+
+	// Histograms fed from the event stream.
+	irqLatency *trace.Histogram
+	loadTotal  *trace.Histogram
+}
+
+// irqLatencyBounds buckets interrupt-entry latency in cycles.
+var irqLatencyBounds = []uint64{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// loadTotalBounds buckets whole-load cost in cycles (Table 4's overall
+// column spans roughly 100k–3M cycles across image sizes).
+var loadTotalBounds = []uint64{50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000}
+
+// EnableObservability wires the observability layer into every
+// subsystem and returns the handle. Extra sinks (a live printer, a
+// test recorder) see the same stream as the buffer. Idempotent: a
+// second call returns the same handle and ignores extras. There is no
+// way to disable it again on a live platform — build a fresh platform
+// for uninstrumented measurement.
+func (p *Platform) EnableObservability(extra ...trace.Sink) *Obs {
+	if p.obsHandle != nil {
+		return p.obsHandle
+	}
+	o := &Obs{
+		Buf: new(trace.Buffer),
+		Reg: trace.NewRegistry(),
+		p:   p,
+	}
+	o.irqLatency = o.Reg.Histogram("tytan_irq_latency_cycles",
+		"Interrupt entry latency per serviced interrupt.", irqLatencyBounds...)
+	o.loadTotal = o.Reg.Histogram("tytan_load_total_cycles",
+		"End-to-end cost of completed dynamic loads.", loadTotalBounds...)
+	o.registerGauges()
+
+	// Every subsystem feeds the buffer; the metrics sink peels
+	// histogram samples off the same stream.
+	sinks := append([]trace.Sink{o.Buf, trace.SinkFunc(o.observeEvent)}, extra...)
+	sink := trace.Multi(sinks...)
+	p.obs = sink
+	p.M.Obs = sink
+	p.K.Obs = sink
+	if p.C != nil {
+		p.C.Attest.Obs = sink
+	}
+	if p.Sup != nil {
+		p.Sup.Obs = sink
+	}
+	p.obsHandle = o
+	return o
+}
+
+// Observability returns the handle if EnableObservability has run.
+func (p *Platform) Observability() *Obs { return p.obsHandle }
+
+// observeEvent feeds event-derived metrics (histograms need samples,
+// not end-of-run gauge reads).
+func (o *Obs) observeEvent(e trace.Event) {
+	switch e.Kind {
+	case trace.KindIRQ, trace.KindTick:
+		if lat, ok := e.NumAttr("latency"); ok {
+			o.irqLatency.Observe(lat)
+		}
+	case trace.KindLoadPhase:
+		if a, ok := e.Attr("phase"); ok && a.Str == "done" {
+			if total, ok := e.NumAttr("total"); ok {
+				o.loadTotal.Observe(total)
+			}
+		}
+	}
+}
+
+// registerGauges exposes every subsystem's monotonic counters as
+// export-time-sampled gauges — zero cost while the simulation runs.
+func (o *Obs) registerGauges() {
+	p, r := o.p, o.Reg
+
+	r.Gauge("tytan_cycles", "Platform cycle counter.", p.M.Cycles)
+
+	// Machine / interpreter fast path.
+	r.Gauge("tytan_machine_insn_retired", "Instructions retired.",
+		func() uint64 { return p.M.Stats().InsnRetired })
+	r.Gauge("tytan_machine_decode_misses", "Instruction-cache decode misses.",
+		func() uint64 { return p.M.Stats().DecodeMisses })
+	r.Gauge("tytan_machine_exec_span_fills", "EA-MPU execute-span cache fills.",
+		func() uint64 { return p.M.Stats().ExecSpanFills })
+	r.Gauge("tytan_machine_data_span_fills", "EA-MPU data-span cache fills.",
+		func() uint64 { return p.M.Stats().DataSpanFills })
+	r.Gauge("tytan_machine_gen_bumps", "EA-MPU generation bumps (cache invalidations).",
+		func() uint64 { return p.M.Stats().GenBumps })
+
+	// Kernel.
+	r.Gauge("tytan_kernel_ticks", "Timer ticks serviced.", p.K.Ticks)
+	r.Gauge("tytan_kernel_switches", "Context switches (dispatches).", p.K.Switches)
+	r.Gauge("tytan_kernel_preemptions", "Preemptive task switches.", p.K.Preempted)
+	r.Gauge("tytan_kernel_idle_cycles", "Cycles spent with no runnable task.", p.K.IdleCycles)
+
+	// EA-MPU.
+	r.Gauge("tytan_eampu_violations", "Access-control violations raised.", p.M.MPU.Violations)
+	r.Gauge("tytan_eampu_generation", "EA-MPU configuration generation.", p.M.MPU.Generation)
+	r.Gauge("tytan_eampu_slots_used", "EA-MPU region slots in use.",
+		func() uint64 { return uint64(p.M.MPU.UsedSlots()) })
+
+	// Trusted components (TyTAN configuration only).
+	if p.C != nil {
+		r.Gauge("tytan_attest_quotes", "Attestation quotes issued.",
+			func() uint64 { issued, _ := p.C.Attest.QuoteCounts(); return issued })
+		r.Gauge("tytan_attest_denials", "Attestation quote requests denied.",
+			func() uint64 { _, denied := p.C.Attest.QuoteCounts(); return denied })
+	}
+
+	// Supervisor counters read through the platform so enabling
+	// supervision after observability still reports.
+	r.Gauge("tytan_sup_faults", "Task faults seen by the supervisor.",
+		func() uint64 { return p.supCounts().Faults })
+	r.Gauge("tytan_sup_restarts", "Supervisor restarts issued.",
+		func() uint64 { return p.supCounts().Restarts })
+	r.Gauge("tytan_sup_restart_failures", "Supervisor restarts that failed.",
+		func() uint64 { return p.supCounts().RestartFailures })
+	r.Gauge("tytan_sup_quarantines", "Task identities quarantined.",
+		func() uint64 { return p.supCounts().Quarantines })
+	r.Gauge("tytan_sup_watchdog_kills", "Watchdog kills (hangs and quota).",
+		func() uint64 { return p.supCounts().WatchdogKills })
+}
+
+// supCounts reads the supervisor counters, zero when supervision is
+// not enabled.
+func (p *Platform) supCounts() trusted.SupCounts {
+	if p.Sup == nil {
+		return trusted.SupCounts{}
+	}
+	return p.Sup.Counts()
+}
+
+// Events returns a copy of the collected event stream.
+func (o *Obs) Events() []trace.Event { return o.Buf.Events() }
+
+// WriteChromeTrace exports the event stream in Chrome trace_event JSON
+// (load into chrome://tracing or Perfetto; 1 µs displayed = 1 cycle).
+func (o *Obs) WriteChromeTrace(w io.Writer) error {
+	return trace.WriteChromeTrace(w, o.Buf.Events())
+}
+
+// WriteMetrics exports the registry in Prometheus text format.
+func (o *Obs) WriteMetrics(w io.Writer) error {
+	return o.Reg.WritePrometheus(w)
+}
+
+// Profile attributes the simulation's cycles to tasks and load phases
+// from the event stream.
+func (o *Obs) Profile() *trace.Profile {
+	return trace.BuildProfile(o.Buf.Events(), o.p.M.Cycles())
+}
+
+// ClockHz re-exports the simulated clock for exporter consumers.
+const ClockHz = machine.ClockHz

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trusted"
+)
+
+// observedScenario runs a fixed supervised workload — a crashing task
+// burning its restart budget beside a clean exiter — and returns the
+// platform. With observe set the observability layer is on from boot.
+func observedScenario(t *testing.T, observe bool) *Platform {
+	t.Helper()
+	p := newTyTAN(t)
+	if observe {
+		p.EnableObservability()
+	}
+	if _, err := p.EnableSupervision(trusted.SupervisorPolicy{
+		MaxRestarts:  2,
+		RestartDelay: 10_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	crashy, _, err := p.LoadTaskSync(mustImage(t, crashySrc), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Watch(crashy.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.LoadTaskSync(mustImage(t, helloSrc), Secure, 3); err != nil {
+		t.Fatal(err)
+	}
+	quarantined := func() bool {
+		st, ok := p.Sup.Status("crashy")
+		return ok && st.State == trusted.WatchQuarantined
+	}
+	if !runUntil(t, p, 20_000_000, quarantined) {
+		t.Fatalf("crashy never quarantined; events %+v", p.Sup.Events())
+	}
+	return p
+}
+
+// TestObservabilityZeroImpact: the same workload with and without the
+// observability layer lands on the identical cycle count — emission is
+// a pure lens over the simulation.
+func TestObservabilityZeroImpact(t *testing.T) {
+	plain := observedScenario(t, false)
+	defer plain.Close()
+	observed := observedScenario(t, true)
+	defer observed.Close()
+
+	if plain.Cycles() != observed.Cycles() {
+		t.Errorf("cycle counts diverged: plain %d, observed %d", plain.Cycles(), observed.Cycles())
+	}
+	if a, b := plain.K.Switches(), observed.K.Switches(); a != b {
+		t.Errorf("dispatch counts diverged: %d != %d", a, b)
+	}
+	if a, b := plain.M.Stats(), observed.M.Stats(); a != b {
+		t.Errorf("machine stats diverged: %+v != %+v", a, b)
+	}
+}
+
+// TestEventStreamDeterminism: two runs of the same scenario emit
+// deeply equal event streams, and the stream is cycle-ordered.
+func TestEventStreamDeterminism(t *testing.T) {
+	a := observedScenario(t, true)
+	defer a.Close()
+	b := observedScenario(t, true)
+	defer b.Close()
+
+	ea, eb := a.Observability().Events(), b.Observability().Events()
+	if len(ea) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("event streams diverged: %d vs %d events", len(ea), len(eb))
+	}
+	for i := 1; i < len(ea); i++ {
+		if ea[i].Cycle < ea[i-1].Cycle {
+			t.Fatalf("event %d out of order: cycle %d after %d", i, ea[i].Cycle, ea[i-1].Cycle)
+		}
+	}
+}
+
+// TestMetricsUnderSupervision: the exported metrics agree with the
+// supervisor's audit trail across restart and quarantine, and the
+// denial counter moves when a quarantined identity is quoted.
+func TestMetricsUnderSupervision(t *testing.T) {
+	p := observedScenario(t, true)
+	defer p.Close()
+	obs := p.Observability()
+
+	scrape := func() map[string]float64 {
+		var buf bytes.Buffer
+		if err := obs.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := trace.ParsePrometheus(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("metrics do not scrape: %v\n%s", err, buf.String())
+		}
+		return m
+	}
+	m := scrape()
+	// crashy faults three times (original + 2 restarts), restarts
+	// twice, quarantines once; hello ends cleanly.
+	checks := map[string]float64{
+		"tytan_sup_faults":      3,
+		"tytan_sup_restarts":    2,
+		"tytan_sup_quarantines": 1,
+	}
+	for name, want := range checks {
+		if got := m[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if m["tytan_kernel_switches"] == 0 || m["tytan_machine_insn_retired"] == 0 {
+		t.Error("kernel/machine gauges not populated")
+	}
+	if m["tytan_eampu_violations"] < 3 {
+		t.Errorf("tytan_eampu_violations = %v, want ≥3", m["tytan_eampu_violations"])
+	}
+
+	// A quote of the quarantined identity is denied and counted.
+	st, _ := p.Sup.Status("crashy")
+	deniedBefore := m["tytan_attest_denials"]
+	if _, err := p.Provider("").Quote(st.TaskID, 1); err == nil {
+		t.Fatal("quote of quarantined task succeeded")
+	}
+	if got := scrape()["tytan_attest_denials"]; got != deniedBefore+1 {
+		t.Errorf("tytan_attest_denials = %v, want %v", got, deniedBefore+1)
+	}
+
+	// The supervisor counters match the audit-trail event counts.
+	counts := p.Sup.Counts()
+	if int(counts.Faults) != countEvents(p.Sup, "fault") {
+		t.Errorf("SupCounts.Faults = %d, events = %d", counts.Faults, countEvents(p.Sup, "fault"))
+	}
+	if int(counts.Restarts) != countEvents(p.Sup, "restart") {
+		t.Errorf("SupCounts.Restarts = %d, events = %d", counts.Restarts, countEvents(p.Sup, "restart"))
+	}
+}
+
+// TestObsExportRoundTrips: the Chrome trace export decodes back to the
+// exact event stream, and the profile attributes cycles to the tasks
+// and load phases the scenario actually exercised.
+func TestObsExportRoundTrips(t *testing.T) {
+	p := observedScenario(t, true)
+	defer p.Close()
+	obs := p.Observability()
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Chrome trace does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, obs.Events()) {
+		t.Fatalf("Chrome round-trip lost information: %d vs %d events", len(decoded), len(obs.Events()))
+	}
+
+	prof := obs.Profile()
+	if prof.TotalCycles != p.Cycles() {
+		t.Errorf("profile total = %d, want %d", prof.TotalCycles, p.Cycles())
+	}
+	var sawCrashy bool
+	for _, tc := range prof.Tasks {
+		if tc.Name == "crashy" && tc.Cycles > 0 {
+			sawCrashy = true
+		}
+	}
+	if !sawCrashy {
+		t.Error("profile attributes no cycles to crashy")
+	}
+	if len(prof.LoadPhases) == 0 {
+		t.Error("profile has no load-phase breakdown")
+	}
+	if !strings.Contains(prof.String(), "crashy") {
+		t.Error("profile report does not mention crashy")
+	}
+}
+
+// TestProviderHandle: the provider-scoped handle quotes and verifies
+// end to end, the empty name selects the platform default, and the
+// deprecated wrappers still agree with it.
+func TestProviderHandle(t *testing.T) {
+	p, err := NewPlatform(Options{Provider: "oem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tcb, identity, err := p.LoadTaskSync(mustImage(t, helloSrc), Secure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oem := p.Provider("oem")
+	if oem.Name() != "oem" {
+		t.Errorf("Name() = %q", oem.Name())
+	}
+	q, err := oem.Quote(tcb.ID, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oem.Verifier().Verify(q, identity, 42); err != nil {
+		t.Errorf("handle verifier rejects handle quote: %v", err)
+	}
+
+	// Empty name = platform default; the deprecated wrappers agree.
+	def := p.Provider("")
+	if def.Name() != "oem" {
+		t.Errorf("default handle name = %q, want oem", def.Name())
+	}
+	qd, err := def.Quote(tcb.ID, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd.MAC != q.MAC {
+		t.Error("default-provider quote differs from named-provider quote")
+	}
+	qOld, err := p.Quote(tcb.ID, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qOld.MAC != q.MAC {
+		t.Error("deprecated Quote disagrees with handle")
+	}
+	if err := p.Verifier().Verify(q, identity, 42); err != nil {
+		t.Errorf("deprecated Verifier rejects handle quote: %v", err)
+	}
+
+	// A distinct provider derives a distinct key.
+	other, err := p.Provider("vendor-b").Quote(tcb.ID, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.MAC == q.MAC {
+		t.Error("distinct providers produced the same MAC")
+	}
+	if err := p.Provider("vendor-b").Verifier().Verify(other, identity, 42); err != nil {
+		t.Errorf("vendor-b verifier rejects vendor-b quote: %v", err)
+	}
+
+	// Baseline platforms refuse quotes but still hand out verifiers.
+	bp, err := NewPlatform(Options{Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp.Close()
+	if _, err := bp.Provider("oem").Quote(1, 1); !errors.Is(err, ErrBaselineOnly) {
+		t.Errorf("baseline quote = %v, want ErrBaselineOnly", err)
+	}
+	if bp.Provider("oem").Verifier() == nil {
+		t.Error("baseline verifier is nil")
+	}
+}

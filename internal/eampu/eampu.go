@@ -215,7 +215,14 @@ type MPU struct {
 	// any reconfiguration invalidates every memoized verdict. See
 	// span.go.
 	gen uint64
+
+	// violations counts denied accesses since reset (observability; the
+	// unit itself only reports the fault).
+	violations uint64
 }
+
+// Violations returns the number of accesses the unit has denied.
+func (m *MPU) Violations() uint64 { return m.violations }
 
 // Enable switches enforcement on. Secure boot installs the static rules
 // first and then enables the unit.
@@ -404,6 +411,7 @@ func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) (int, error) {
 	if !claimed {
 		return -1, nil // unclaimed memory is public
 	}
+	m.violations++
 	return -1, &Violation{PC: pc, Kind: kind, Addr: addr}
 }
 
@@ -443,6 +451,7 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 		return nil
 	}
 	if entered == nil {
+		m.violations++
 		return &Violation{PC: fromPC, Kind: AccessExec, Addr: addr}
 	}
 	if entered.EnforceEntry && !entered.Data.Contains(fromPC) {
@@ -453,6 +462,7 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 		// and accepting accidental fall-through would let code that
 		// corrupted its own text "walk" into a neighbouring task.
 		if sequential || addr != entered.Entry {
+			m.violations++
 			return &Violation{PC: fromPC, Kind: AccessExec, Addr: addr, Entry: entered.Entry, EntryErr: true}
 		}
 	}
@@ -465,7 +475,8 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 // keyed on it cannot mistake the post-reset configuration for a
 // pre-reset one.
 func (m *MPU) Reset() {
-	gen := m.gen
+	gen, viol := m.gen, m.violations
 	*m = MPU{}
 	m.gen = gen + 1
+	m.violations = viol
 }

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Textual fault specs: the "-faults" flag of tytan-sim and the chaos
+// harness share one format,
+//
+//	seed=N[,classes=bitflips+irqstorms+rogues+connfaults][,period=N][,burst=N]
+//
+// parsed by ParseSpec and rendered back by Config.String, which
+// round-trip: ParseSpec(cfg.String()) == cfg for any cfg with a
+// non-zero class set.
+
+// DefaultSpecClasses is the class set a spec gets when it names none —
+// the injector-driven classes (rogue tasks and connection faults need
+// harness cooperation the flag path does not provide).
+const DefaultSpecClasses = BitFlips | IRQStorms
+
+// specClassNames maps spec tokens to classes, in Class.String order.
+var specClassNames = []struct {
+	name string
+	c    Class
+}{
+	{"bitflips", BitFlips},
+	{"irqstorms", IRQStorms},
+	{"rogues", RogueTasks},
+	{"connfaults", ConnFaults},
+}
+
+// ParseSpec parses a fault spec. Keys may appear in any order; classes
+// defaults to DefaultSpecClasses when absent.
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{Classes: DefaultSpecClasses}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad spec entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "period":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faultinject: bad period %q: %v", v, err)
+			}
+			cfg.MeanPeriod = n
+		case "burst":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("faultinject: bad burst %q", v)
+			}
+			cfg.Burst = n
+		case "classes":
+			var c Class
+			for _, name := range strings.Split(v, "+") {
+				cl, err := parseClassName(name)
+				if err != nil {
+					return cfg, err
+				}
+				c |= cl
+			}
+			cfg.Classes = c
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown spec key %q (seed, classes, period, burst)", k)
+		}
+	}
+	return cfg, nil
+}
+
+func parseClassName(name string) (Class, error) {
+	for _, e := range specClassNames {
+		if e.name == name {
+			return e.c, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault class %q (bitflips, irqstorms, rogues, connfaults)", name)
+}
+
+// String renders the config as a spec ParseSpec accepts. Zero-valued
+// optional fields are omitted; the class set is always explicit so the
+// rendering is unambiguous.
+func (c Config) String() string {
+	s := fmt.Sprintf("seed=%d", c.Seed)
+	if c.Classes != 0 {
+		s += ",classes=" + c.Classes.String()
+	}
+	if c.MeanPeriod != 0 {
+		s += fmt.Sprintf(",period=%d", c.MeanPeriod)
+	}
+	if c.Burst != 0 {
+		s += fmt.Sprintf(",burst=%d", c.Burst)
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package faultinject
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"seed=7", Config{Seed: 7, Classes: DefaultSpecClasses}},
+		{"seed=0x2a,period=90000", Config{Seed: 0x2a, MeanPeriod: 90000, Classes: DefaultSpecClasses}},
+		{"seed=1,classes=bitflips", Config{Seed: 1, Classes: BitFlips}},
+		{"seed=1,classes=rogues+connfaults,burst=3",
+			Config{Seed: 1, Classes: RogueTasks | ConnFaults, Burst: 3}},
+		{"burst=2,classes=irqstorms,seed=5", // any key order
+			Config{Seed: 5, Classes: IRQStorms, Burst: 2}},
+		{"seed=1,classes=bitflips+irqstorms+rogues+connfaults",
+			Config{Seed: 1, Classes: BitFlips | IRQStorms | RogueTasks | ConnFaults}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",               // empty entry
+		"seed",           // no value
+		"seed=x",         // bad number
+		"period=-1",      // bad number
+		"burst=-1",       // negative
+		"burst=x",        // bad number
+		"classes=nukes",  // unknown class
+		"classes=",       // empty class name
+		"bogus=1",        // unknown key
+		"seed=1,,seed=2", // empty entry mid-spec
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpecRoundTrip: Config.String renders a spec ParseSpec maps back
+// to the identical config, for every class combination.
+func TestSpecRoundTrip(t *testing.T) {
+	for classes := Class(1); classes < 1<<4; classes++ {
+		cfg := Config{Seed: 0xDEADBEEF, Classes: classes, MeanPeriod: 120_000, Burst: 4}
+		back, err := ParseSpec(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Errorf("round-trip %q: got %+v, want %+v", cfg.String(), back, cfg)
+		}
+	}
+	// Zero optional fields stay omitted from the rendering.
+	minimal := Config{Seed: 3, Classes: BitFlips}
+	if s := minimal.String(); s != "seed=3,classes=bitflips" {
+		t.Errorf("minimal spec = %q", s)
+	}
+}

@@ -1,6 +1,12 @@
 package machine
 
-import "repro/internal/isa"
+import (
+	"errors"
+
+	"repro/internal/eampu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
 
 // The CPU interpreter. Run executes ISA instructions at EIP, charging
 // cycles and enforcing the EA-MPU on every fetch, load and store, until
@@ -215,10 +221,35 @@ func (m *Machine) Run(budget uint64) RunResult {
 		res := m.Step()
 		steps += res.Steps
 		if res.Reason != StopBudget {
+			if res.Reason == StopFault && m.Obs != nil {
+				m.emitFault(res.Fault)
+			}
 			res.Steps = steps
 			return res
 		}
 	}
+}
+
+// emitFault reports a CPU fault on the observability sink. EA-MPU
+// violations carry the denied access; other faults just the cause.
+// Out of line so Run's loop stays small; only reached when execution
+// has already stopped.
+func (m *Machine) emitFault(f *Fault) {
+	e := trace.Event{
+		Cycle: m.cycles, Sub: trace.SubMachine, Kind: trace.KindViolation,
+		Attrs: []trace.Attr{trace.Hex("pc", uint64(f.PC)), trace.Str("why", f.Why)},
+	}
+	var v *eampu.Violation
+	if errors.As(f.Wrap, &v) {
+		e.Sub = trace.SubEAMPU
+		e.Attrs = append(e.Attrs,
+			trace.Str("access", v.Kind.String()),
+			trace.Hex("addr", uint64(v.Addr)))
+		if v.EntryErr {
+			e.Attrs = append(e.Attrs, trace.Hex("entry", uint64(v.Entry)))
+		}
+	}
+	m.Obs.Emit(e)
 }
 
 // CheckExecEntry validates a software-initiated control transfer into a

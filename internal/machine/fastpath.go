@@ -176,6 +176,7 @@ func (m *Machine) syncMPUGen() {
 // there is no cached code to guard against writes.
 func (m *Machine) bumpGen() {
 	m.gen++
+	m.genBumps++
 	m.codeLo, m.codeHi = eampu.MaxAddr, 0
 }
 
@@ -260,6 +261,7 @@ func (m *Machine) fetchFast() (isa.Instruction, *Fault) {
 		}
 		lo, hi := m.MPU.ExecSpan(pc)
 		*e = execSpan{gen: m.gen, lo: lo, hi: hi}
+		m.execSpanFills++
 	}
 	if m.icache == nil {
 		m.icache = make([]icEntry, icacheSize)
@@ -268,6 +270,7 @@ func (m *Machine) fetchFast() (isa.Instruction, *Fault) {
 	if ic.gen == m.gen && ic.pc == pc {
 		return ic.in, nil
 	}
+	m.decodeMisses++
 	in, fault := m.decodeAt(pc)
 	if fault != nil {
 		return isa.Instruction{}, fault
@@ -349,6 +352,7 @@ func (m *Machine) checkData(kind eampu.AccessKind, addr, size uint32) error {
 		e.dataLo <= last && last <= e.dataHi {
 		return nil
 	}
+	m.dataSpanFills++
 	if err := m.MPU.CheckData(pc, kind, addr, size); err != nil {
 		return err
 	}

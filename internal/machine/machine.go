@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/eampu"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // Physical memory map.
@@ -162,6 +163,13 @@ type Machine struct {
 	// host-throughput denominator; not an architectural quantity).
 	insnRetired uint64
 
+	// Host-side fast-path counters, bumped only on the cold paths
+	// (cache fills and generation bumps), never per instruction.
+	decodeMisses  uint64
+	execSpanFills uint64
+	dataSpanFills uint64
+	genBumps      uint64
+
 	// CPU state.
 	regs     [isa.NumRegs]uint32
 	eip      uint32
@@ -184,6 +192,11 @@ type Machine struct {
 	// executes (pc, decoded form) — the simulator's instruction-trace
 	// hook. It must not mutate machine state.
 	OnStep func(pc uint32, in isa.Instruction)
+
+	// Obs, when set, receives machine-level observability events
+	// (EA-MPU violation faults). Emission happens only when execution
+	// already stopped, charges no cycles, and must not mutate state.
+	Obs trace.Sink
 }
 
 // New creates a machine with the given amount of RAM (0 selects
@@ -207,6 +220,29 @@ func New(ramSize uint32) *Machine {
 // executing since reset. It is host-telemetry (the denominator of the
 // host-MIPS metric), not a paper quantity.
 func (m *Machine) InsnRetired() uint64 { return m.insnRetired }
+
+// Stats is a snapshot of the machine's host-side performance counters:
+// how the interpreter fast path is doing, not what the simulated
+// hardware did. All counters bump only on cold paths (cache fills,
+// generation changes), so reading them never perturbs a measurement.
+type Stats struct {
+	InsnRetired   uint64 // instructions started
+	DecodeMisses  uint64 // predecode-cache misses (full decodes)
+	ExecSpanFills uint64 // exec-permission span refills (full MPU scans)
+	DataSpanFills uint64 // data decision-cache refills (full MPU scans)
+	GenBumps      uint64 // cache invalidations (MPU reconfig / code writes)
+}
+
+// Stats returns the current fast-path counters.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		InsnRetired:   m.insnRetired,
+		DecodeMisses:  m.decodeMisses,
+		ExecSpanFills: m.execSpanFills,
+		DataSpanFills: m.dataSpanFills,
+		GenBumps:      m.genBumps,
+	}
+}
 
 // RAMSize returns the amount of mapped RAM in bytes.
 func (m *Machine) RAMSize() uint32 { return uint32(len(m.ram)) }

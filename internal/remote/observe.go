@@ -1,0 +1,119 @@
+package remote
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/trusted"
+)
+
+// Observability for the wire protocol. The remote package sits on both
+// sides of a real network connection, so its counters must be safe
+// under the goroutines the exchanges run on; everything here is atomic
+// and the sink (a trace.Buffer, typically) locks internally.
+
+// TracedAttestor wraps the device-side Attestor with quote accounting
+// and typed round-trip events (KindAttest from SubRemote — the wire
+// view, complementing the trusted component's own SubAttest events).
+type TracedAttestor struct {
+	// Inner answers the actual challenges.
+	Inner Attestor
+	// Cycles supplies event timestamps — normally the device machine's
+	// cycle counter. Nil stamps zero (events still carry attributes).
+	Cycles func() uint64
+	// Obs receives one event per exchange; nil disables emission.
+	Obs trace.Sink
+
+	served uint64
+	denied uint64
+}
+
+// QuoteByTruncID implements Attestor, delegating to Inner and
+// accounting the exchange.
+func (t *TracedAttestor) QuoteByTruncID(provider string, trunc, nonce uint64) (trusted.Quote, error) {
+	q, err := t.Inner.QuoteByTruncID(provider, trunc, nonce)
+	result := "ok"
+	if err != nil {
+		atomic.AddUint64(&t.denied, 1)
+		result = err.Error()
+	} else {
+		atomic.AddUint64(&t.served, 1)
+	}
+	if t.Obs != nil {
+		var cycle uint64
+		if t.Cycles != nil {
+			cycle = t.Cycles()
+		}
+		t.Obs.Emit(trace.Event{
+			Cycle: cycle, Sub: trace.SubRemote,
+			Kind: trace.KindAttest, Subject: provider,
+			Attrs: []trace.Attr{
+				trace.Hex("trunc", trunc),
+				trace.Str("result", result),
+			},
+		})
+	}
+	return q, err
+}
+
+// Counts returns how many wire exchanges produced a quote and how many
+// were denied by the device.
+func (t *TracedAttestor) Counts() (served, denied uint64) {
+	return atomic.LoadUint64(&t.served), atomic.LoadUint64(&t.denied)
+}
+
+// RetryStats accumulates verifier-side accounting across AttestRetry
+// calls (hook it in through RetryConfig.Stats). Safe for concurrent
+// use; the zero value is ready.
+type RetryStats struct {
+	calls    uint64
+	attempts uint64
+	retries  uint64 // attempts beyond the first, per call
+	failures uint64 // calls that exhausted their attempt budget
+	refusals uint64 // authoritative device denials (ErrRemote)
+}
+
+func (s *RetryStats) record(attempts int, err error) {
+	if s == nil {
+		return
+	}
+	atomic.AddUint64(&s.calls, 1)
+	atomic.AddUint64(&s.attempts, uint64(attempts))
+	if attempts > 1 {
+		atomic.AddUint64(&s.retries, uint64(attempts-1))
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrRemote):
+		atomic.AddUint64(&s.refusals, 1)
+	default:
+		atomic.AddUint64(&s.failures, 1)
+	}
+}
+
+// Counts returns the accumulated totals: calls made, attempts used
+// (including first tries), retries (attempts beyond the first),
+// failures (attempt budget exhausted) and refusals (authoritative
+// device denials).
+func (s *RetryStats) Counts() (calls, attempts, retries, failures, refusals uint64) {
+	return atomic.LoadUint64(&s.calls), atomic.LoadUint64(&s.attempts),
+		atomic.LoadUint64(&s.retries), atomic.LoadUint64(&s.failures),
+		atomic.LoadUint64(&s.refusals)
+}
+
+// ServeStats accumulates device-side accounting across ServeConn calls
+// (hook it in through ServeConfig.Stats). Safe for concurrent use; the
+// zero value is ready.
+type ServeStats struct {
+	exchanges   uint64 // completed exchanges (quote or protocol error reply)
+	frameErrors uint64 // malformed frames / oversized frames / bad challenges
+	timeouts    uint64 // exchanges dropped on the I/O deadline
+	drops       uint64 // connections dropped for exhausting the error budget
+}
+
+// Counts returns the accumulated totals.
+func (s *ServeStats) Counts() (exchanges, frameErrors, timeouts, drops uint64) {
+	return atomic.LoadUint64(&s.exchanges), atomic.LoadUint64(&s.frameErrors),
+		atomic.LoadUint64(&s.timeouts), atomic.LoadUint64(&s.drops)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sha1"
@@ -59,6 +60,8 @@ type ServeConfig struct {
 	// challenges) one connection may produce before it is dropped
 	// (0 = 3).
 	ErrorBudget int
+	// Stats, when non-nil, accumulates exchange/error accounting.
+	Stats *ServeStats
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -82,14 +85,26 @@ func ServeConn(conn net.Conn, att Attestor, cfg ServeConfig) error {
 		err := ServeOneTimeout(conn, att, cfg.Timeout)
 		switch {
 		case err == nil:
+			if cfg.Stats != nil {
+				atomic.AddUint64(&cfg.Stats.exchanges, 1)
+			}
 			continue
 		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
 			return nil
 		case errors.Is(err, ErrTimeout):
+			if cfg.Stats != nil {
+				atomic.AddUint64(&cfg.Stats.timeouts, 1)
+			}
 			return err
 		case errors.Is(err, ErrBadMessage), errors.Is(err, ErrFrameTooLarge):
 			protoErrs++
+			if cfg.Stats != nil {
+				atomic.AddUint64(&cfg.Stats.frameErrors, 1)
+			}
 			if protoErrs >= cfg.ErrorBudget {
+				if cfg.Stats != nil {
+					atomic.AddUint64(&cfg.Stats.drops, 1)
+				}
 				return fmt.Errorf("%w: %d protocol errors", ErrErrorBudget, protoErrs)
 			}
 		default:
@@ -109,6 +124,8 @@ type RetryConfig struct {
 	Timeout time.Duration
 	// Sleep is injectable for tests (nil = time.Sleep).
 	Sleep func(time.Duration)
+	// Stats, when non-nil, accumulates retry accounting.
+	Stats *RetryStats
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -152,16 +169,20 @@ func AttestRetry(dial func() (net.Conn, error), v *trusted.Verifier, provider st
 		q, err := AttestTimeout(conn, v, provider, expected, nonce+uint64(attempt), cfg.Timeout)
 		conn.Close()
 		if err == nil {
+			cfg.Stats.record(attempt+1, nil)
 			return q, attempt + 1, nil
 		}
 		lastErr = err
 		if errors.Is(err, ErrRemote) {
 			// The device answered: the task is not attestable. Retrying
 			// cannot change an authoritative refusal.
+			cfg.Stats.record(attempt+1, err)
 			return trusted.Quote{}, attempt + 1, err
 		}
 	}
-	return trusted.Quote{}, cfg.Attempts, fmt.Errorf("remote: attestation failed after %d attempts: %w", cfg.Attempts, lastErr)
+	err := fmt.Errorf("remote: attestation failed after %d attempts: %w", cfg.Attempts, lastErr)
+	cfg.Stats.record(cfg.Attempts, err)
+	return trusted.Quote{}, cfg.Attempts, err
 }
 
 // ServeOneTimeout is ServeOne with an explicit per-exchange deadline.

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Mutex is a kernel mutex with priority inheritance — the mechanism
@@ -90,7 +91,10 @@ func (m *Mutex) boostHolder(prio int) {
 	if wasReady {
 		m.k.enqueue(h)
 	}
-	m.k.trace("mutex " + m.name + ": priority inherited")
+	if m.k.Obs != nil {
+		m.k.emit(trace.KindMutex, m.name,
+			trace.Str("event", "priority-inherited"), trace.Num("prio", uint64(prio)))
+	}
 }
 
 // Unlock releases the mutex held by t, restoring t's base priority and

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/loader"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // NumPriorities is the number of scheduling priorities; higher number =
@@ -273,8 +274,11 @@ type Kernel struct {
 	exits     map[TaskID]ExitRecord
 	exitOrder []TaskID
 
-	// OnTrace, when set, receives kernel events for diagnostics.
-	OnTrace func(cycle uint64, event string)
+	// Obs, when set, receives typed kernel events (task lifecycle,
+	// dispatches, syscalls, interrupts) stamped with the simulated cycle
+	// counter. Emission charges no cycles and a nil sink costs one
+	// pointer check, so observability never perturbs the measurement.
+	Obs trace.Sink
 
 	// OnTaskExit, when set, observes every task termination with its
 	// structured reason, after the task has been removed. The trusted
@@ -361,6 +365,10 @@ func (k *Kernel) Ticks() uint64 { return k.ticks }
 // Switches returns the number of task dispatches.
 func (k *Kernel) Switches() uint64 { return k.switches }
 
+// Preempted returns the number of involuntary pre-emptions (interrupt
+// or priority pre-emption parked a running task).
+func (k *Kernel) Preempted() uint64 { return k.preempted }
+
 // IdleCycles returns the cycles spent with nothing runnable.
 func (k *Kernel) IdleCycles() uint64 { return k.idleCycles }
 
@@ -382,8 +390,15 @@ func (k *Kernel) IRQLatency() (max uint64, mean float64, samples uint64) {
 	return k.irqLatencyMax, float64(k.irqLatencySum) / float64(k.irqLatencyN), k.irqLatencyN
 }
 
-func (k *Kernel) trace(event string) {
-	if k.OnTrace != nil {
-		k.OnTrace(k.M.Cycles(), event)
+// emit sends one kernel event to the observability sink. Call sites on
+// frequent paths guard with k.Obs != nil themselves so attribute
+// construction is skipped entirely when observability is off.
+func (k *Kernel) emit(kind trace.Kind, subject string, attrs ...trace.Attr) {
+	if k.Obs == nil {
+		return
 	}
+	k.Obs.Emit(trace.Event{
+		Cycle: k.M.Cycles(), Sub: trace.SubKernel,
+		Kind: kind, Subject: subject, Attrs: attrs,
+	})
 }

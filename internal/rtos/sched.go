@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // The scheduler: priority-based pre-emptive with round-robin within a
@@ -116,8 +117,6 @@ func (k *Kernel) checkStackBounds(t *TCB) bool {
 	if t.SavedSP >= t.Placement.StackBase() {
 		return false
 	}
-	k.trace(fmt.Sprintf("task %d %q stack overflow: sp %#x below %#x, killed",
-		t.ID, t.Name, t.SavedSP, t.Placement.StackBase()))
 	k.removeTaskWith(t, ExitReason{
 		Cause:     ExitStackOverflow,
 		FaultAddr: t.SavedSP,
@@ -167,19 +166,24 @@ func (k *Kernel) serviceInterrupt() error {
 
 	raised := k.M.RaisedAt(line)
 	k.M.AckIRQ(line)
-	switch line {
-	case machine.IRQTimer:
+	if line == machine.IRQTimer {
 		k.tick()
-	default:
-		k.trace(fmt.Sprintf("irq %d", line))
 	}
+	var lat uint64
 	if now := k.M.Cycles(); now >= raised {
-		lat := now - raised
+		lat = now - raised
 		k.irqLatencySum += lat
 		k.irqLatencyN++
 		if lat > k.irqLatencyMax {
 			k.irqLatencyMax = lat
 		}
+	}
+	if k.Obs != nil {
+		kind := trace.KindIRQ
+		if line == machine.IRQTimer {
+			kind = trace.KindTick
+		}
+		k.emit(kind, "", trace.Num("line", uint64(line)), trace.Num("latency", lat))
 	}
 	k.M.SetInterruptsEnabled(true)
 	return nil
@@ -252,6 +256,10 @@ func (k *Kernel) dispatch(limit uint64) error {
 	t.State = StateRunning
 	t.Activations++
 	k.switches++
+	if k.Obs != nil {
+		k.emit(trace.KindTaskSwitch, t.Name,
+			trace.Num("id", uint64(t.ID)), trace.Num("prio", uint64(t.Priority)))
+	}
 	now := k.M.Cycles()
 	if now >= limit {
 		return nil
@@ -289,7 +297,6 @@ func (k *Kernel) dispatch(limit uint64) error {
 	// ISA task: restore its context (if not already live) and run.
 	if !k.ctxLive {
 		if err := k.IntPath.Restore(k, t); err != nil {
-			k.trace(fmt.Sprintf("task %d %q restore fault: %v", t.ID, t.Name, err))
 			k.removeTaskWith(t, ExitReason{Cause: ExitRestoreFault, Detail: err.Error()})
 			return nil
 		}
@@ -317,11 +324,9 @@ func (k *Kernel) dispatch(limit uint64) error {
 		// like the tick path would.
 		return k.preemptIfNeeded()
 	case machine.StopHalt:
-		k.trace(fmt.Sprintf("task %d %q halted", t.ID, t.Name))
 		k.removeTaskWith(t, ExitReason{Cause: ExitHalt, PC: k.M.EIP()})
 		return nil
 	case machine.StopFault:
-		k.trace(fmt.Sprintf("task %d %q fault: %v", t.ID, t.Name, res.Fault))
 		k.removeTaskWith(t, faultExitReason(k.M.Cycles(), res.Fault))
 		return nil
 	}

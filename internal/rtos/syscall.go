@@ -1,10 +1,9 @@
 package rtos
 
 import (
-	"fmt"
-
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Kernel-handled SVC numbers. The trusted layer registers additional
@@ -27,11 +26,14 @@ const (
 // registers, exactly like the register-based calling convention of the
 // paper's IPC.
 func (k *Kernel) handleSyscall(t *TCB, svc uint16) error {
+	if k.Obs != nil {
+		k.emit(trace.KindSyscall, t.Name,
+			trace.Num("id", uint64(t.ID)), trace.Num("svc", uint64(svc)))
+	}
 	switch svc {
 	case SVCYield:
 		return k.YieldCurrent()
 	case SVCExit:
-		k.trace(fmt.Sprintf("task %d %q exited", t.ID, t.Name))
 		k.current = nil
 		k.ctxLive = false
 		k.removeTaskWith(t, ExitReason{Cause: ExitSelf, PC: k.M.EIP()})
@@ -56,7 +58,6 @@ func (k *Kernel) handleSyscall(t *TCB, svc uint16) error {
 	}
 	// Unknown service: the task is misbehaving; kill it. Isolation means
 	// this cannot harm anyone else.
-	k.trace(fmt.Sprintf("task %d %q: unknown svc %d, killed", t.ID, t.Name, svc))
 	k.current = nil
 	k.ctxLive = false
 	k.removeTaskWith(t, ExitReason{Cause: ExitBadSyscall, PC: k.M.EIP(), SVC: svc})

@@ -7,6 +7,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/machine"
 	"repro/internal/telf"
+	"repro/internal/trace"
 )
 
 // spReg is the stack-pointer register.
@@ -118,7 +119,11 @@ func (k *Kernel) InstallTaskSuspended(name string, kind TaskKind, prio int, p lo
 	k.tasks[t.ID] = t
 	k.taskOrder = append(k.taskOrder, t)
 	k.M.Charge(machine.CostSchedulerAdd)
-	k.trace(fmt.Sprintf("task %d %q installed (%s, prio %d) at %#x", t.ID, name, kind, prio, p.Base))
+	if k.Obs != nil {
+		k.emit(trace.KindTaskInstall, name,
+			trace.Num("id", uint64(t.ID)), trace.Str("kind", kind.String()),
+			trace.Num("prio", uint64(prio)), trace.Hex("base", uint64(p.Base)))
+	}
 	return t, nil
 }
 
@@ -162,6 +167,24 @@ func (k *Kernel) removeTaskWith(t *TCB, reason ExitReason) {
 		return
 	}
 	rec := k.recordExit(t, reason)
+	// Every exit path funnels through here, so one typed event covers
+	// halt, self-exit, faults, kills and watchdog verdicts alike.
+	if k.Obs != nil {
+		attrs := []trace.Attr{
+			trace.Num("id", uint64(t.ID)),
+			trace.Str("cause", rec.Reason.Cause.String()),
+		}
+		if rec.Reason.PC != 0 {
+			attrs = append(attrs, trace.Hex("pc", uint64(rec.Reason.PC)))
+		}
+		if rec.Reason.FaultAddr != 0 {
+			attrs = append(attrs, trace.Hex("addr", uint64(rec.Reason.FaultAddr)))
+		}
+		if rec.Reason.Cause == ExitBadSyscall {
+			attrs = append(attrs, trace.Num("svc", uint64(rec.Reason.SVC)))
+		}
+		k.emit(trace.KindTaskExit, t.Name, attrs...)
+	}
 	if k.Hooks != nil {
 		k.Hooks.TaskExiting(k, t)
 	}

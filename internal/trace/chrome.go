@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export. Events become "instant" records (ph "i")
+// on the chrome://tracing / Perfetto timeline: ts carries the simulated
+// cycle (the viewer displays it as microseconds — one display-µs per
+// cycle), pid is always 1 (one platform), and tid is the subsystem so
+// each layer gets its own timeline row.
+//
+// The args payload is designed for lossless round-trips: attributes are
+// [key, tag, value] triples with tag "n" (uint64, encoded as a decimal
+// string to dodge JSON's float53 ceiling) or "s" (string).
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	TS   uint64     `json:"ts"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	S    string     `json:"s"` // instant scope: thread
+	Args chromeArgs `json:"args"`
+}
+
+// chromeArgs carries the structured payload of an event.
+type chromeArgs struct {
+	Sub     string      `json:"sub"`
+	Subject string      `json:"subject,omitempty"`
+	Attrs   [][3]string `json:"attrs,omitempty"`
+}
+
+// chromeFile is the JSON-object form of the trace_event format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace encodes events as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	file := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ns",
+		Metadata:        map[string]string{"clock": "simulated-cycles"},
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			TS:   e.Cycle,
+			PID:  1,
+			TID:  int(e.Sub) + 1,
+			S:    "t",
+			Args: chromeArgs{Sub: e.Sub.String(), Subject: e.Subject},
+		}
+		for _, a := range e.Attrs {
+			if a.IsNum {
+				ce.Args.Attrs = append(ce.Args.Attrs, [3]string{a.Key, "n", fmt.Sprint(a.Num)})
+			} else {
+				ce.Args.Attrs = append(ce.Args.Attrs, [3]string{a.Key, "s", a.Str})
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// ReadChromeTrace decodes a trace produced by WriteChromeTrace back
+// into events, validating the trace_event structure as it goes.
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	var file chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	events := make([]Event, 0, len(file.TraceEvents))
+	for i, ce := range file.TraceEvents {
+		if ce.Ph != "i" {
+			return nil, fmt.Errorf("chrome trace: event %d: unexpected phase %q", i, ce.Ph)
+		}
+		kind, err := ParseKind(ce.Name)
+		if err != nil {
+			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		}
+		sub, err := ParseSubsystem(ce.Args.Sub)
+		if err != nil {
+			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		}
+		if want := int(sub) + 1; ce.TID != want {
+			return nil, fmt.Errorf("chrome trace: event %d: tid %d does not match subsystem %s", i, ce.TID, sub)
+		}
+		e := Event{Cycle: ce.TS, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
+		for _, raw := range ce.Args.Attrs {
+			switch raw[1] {
+			case "n":
+				var n uint64
+				if _, err := fmt.Sscan(raw[2], &n); err != nil {
+					return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %v", i, raw[2], err)
+				}
+				e.Attrs = append(e.Attrs, Num(raw[0], n))
+			case "s":
+				e.Attrs = append(e.Attrs, Str(raw[0], raw[2]))
+			default:
+				return nil, fmt.Errorf("chrome trace: event %d: unknown attr tag %q", i, raw[1])
+			}
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

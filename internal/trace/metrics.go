@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Metric kinds as rendered in the Prometheus text exposition format.
+const (
+	metricCounter   = "counter"
+	metricGauge     = "gauge"
+	metricHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready; Counter is safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram accumulates observations into fixed cycle buckets plus a
+// running sum and count, mirroring the Prometheus histogram type. The
+// zero value is unusable: build with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []uint64 // upper bounds, ascending; implicit +Inf last
+	counts []uint64 // len(bounds)+1
+	sum    uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bucket bounds (cycles).
+func NewHistogram(bounds ...uint64) *Histogram {
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts, sum and total.
+func (h *Histogram) snapshot() (bounds []uint64, cum []uint64, sum, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return h.bounds, cum, h.sum, h.total
+}
+
+// metric is one registered metric with its metadata.
+type metric struct {
+	name string
+	help string
+	kind string
+
+	counter *Counter
+	gauge   func() uint64
+	hist    *Histogram
+}
+
+// Registry holds a subsystem's (or the whole platform's) metrics in
+// registration order, so exports are deterministic.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("trace: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: metricCounter, counter: c})
+	return c
+}
+
+// Gauge registers a gauge whose value is sampled from fn at export
+// time — zero cost on the simulation path.
+func (r *Registry) Gauge(name, help string, fn func() uint64) {
+	r.register(&metric{name: name, help: help, kind: metricGauge, gauge: fn})
+}
+
+// GaugeFloat is not supported: the platform is cycle-exact and all
+// source values are integral; derived ratios belong to consumers.
+
+// Histogram registers and returns a new histogram with the given
+// bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds ...uint64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.register(&metric{name: name, help: help, kind: metricHistogram, hist: h})
+	return h
+}
+
+// list returns the metrics in registration order.
+func (r *Registry) list() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}

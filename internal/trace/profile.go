@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile attributes simulated cycles: per task (from the task-switch
+// stream — every cycle between a dispatch and the next dispatch
+// belongs to the dispatched task) and per dynamic-load phase (from the
+// breakdown attributes carried on load-phase completion events).
+type Profile struct {
+	// TotalCycles is the window the profile covers.
+	TotalCycles uint64
+	// Tasks holds per-task attribution, largest share first.
+	Tasks []TaskCycles
+	// LoadPhases holds per-phase loader attribution, pipeline order.
+	LoadPhases []PhaseCycles
+}
+
+// TaskCycles is one task's share of the cycle budget.
+type TaskCycles struct {
+	Name      string
+	Cycles    uint64
+	Dispatches int
+}
+
+// PhaseCycles is one load phase's share of loader work.
+type PhaseCycles struct {
+	Phase  string
+	Cycles uint64
+}
+
+// loadBreakdownKeys are the numeric attrs a completed load carries, in
+// pipeline order. They mirror core.LoadBreakdown.
+var loadBreakdownKeys = []string{
+	"alloc", "copy", "reloc", "install", "protect", "measure", "schedule",
+}
+
+// BuildProfile builds a cycle-attribution profile from an event stream
+// covering [0, totalCycles).
+func BuildProfile(events []Event, totalCycles uint64) *Profile {
+	p := &Profile{TotalCycles: totalCycles}
+
+	// Per-task: walk the dispatch stream.
+	type acc struct {
+		cycles     uint64
+		dispatches int
+	}
+	tasks := make(map[string]*acc)
+	var cur string
+	var curSince uint64
+	flush := func(until uint64) {
+		if cur == "" {
+			return
+		}
+		a := tasks[cur]
+		if a == nil {
+			a = &acc{}
+			tasks[cur] = a
+		}
+		if until > curSince {
+			a.cycles += until - curSince
+		}
+	}
+	for _, e := range events {
+		if e.Kind != KindTaskSwitch {
+			continue
+		}
+		flush(e.Cycle)
+		cur = e.Subject
+		curSince = e.Cycle
+		a := tasks[cur]
+		if a == nil {
+			a = &acc{}
+			tasks[cur] = a
+		}
+		a.dispatches++
+	}
+	flush(totalCycles)
+	for name, a := range tasks {
+		p.Tasks = append(p.Tasks, TaskCycles{Name: name, Cycles: a.cycles, Dispatches: a.dispatches})
+	}
+	sort.Slice(p.Tasks, func(i, j int) bool {
+		if p.Tasks[i].Cycles != p.Tasks[j].Cycles {
+			return p.Tasks[i].Cycles > p.Tasks[j].Cycles
+		}
+		return p.Tasks[i].Name < p.Tasks[j].Name
+	})
+
+	// Per-load-phase: sum breakdowns from completed loads.
+	phase := make(map[string]uint64)
+	for _, e := range events {
+		if e.Kind != KindLoadPhase {
+			continue
+		}
+		if ph, ok := e.Attr("phase"); !ok || ph.Str != "done" {
+			continue
+		}
+		for _, k := range loadBreakdownKeys {
+			if n, ok := e.NumAttr(k); ok {
+				phase[k] += n
+			}
+		}
+	}
+	for _, k := range loadBreakdownKeys {
+		if n := phase[k]; n > 0 {
+			p.LoadPhases = append(p.LoadPhases, PhaseCycles{Phase: k, Cycles: n})
+		}
+	}
+	return p
+}
+
+// String renders the profile as a fixed-width report.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle profile over %d cycles\n", p.TotalCycles)
+	if len(p.Tasks) > 0 {
+		sb.WriteString("\n  task                 cycles       share  dispatches\n")
+		for _, t := range p.Tasks {
+			share := 0.0
+			if p.TotalCycles > 0 {
+				share = float64(t.Cycles) / float64(p.TotalCycles) * 100
+			}
+			fmt.Fprintf(&sb, "  %-16s %10d  %9.1f%%  %10d\n", t.Name, t.Cycles, share, t.Dispatches)
+		}
+	}
+	if len(p.LoadPhases) > 0 {
+		var total uint64
+		for _, ph := range p.LoadPhases {
+			total += ph.Cycles
+		}
+		sb.WriteString("\n  load phase           cycles       share\n")
+		for _, ph := range p.LoadPhases {
+			fmt.Fprintf(&sb, "  %-16s %10d  %9.1f%%\n", ph.Phase, ph.Cycles,
+				float64(ph.Cycles)/float64(total)*100)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers followed
+// by samples, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.list() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case metricCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case metricGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge())
+		case metricHistogram:
+			bounds, cum, sum, total := m.hist.snapshot()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m.name, b, cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, total)
+			fmt.Fprintf(bw, "%s_sum %d\n", m.name, sum)
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, total)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsePrometheus scrapes text in the Prometheus exposition format into
+// a sample map keyed by the full sample name (including any {labels}
+// suffix, e.g. `foo_bucket{le="100"}`). It validates that every sample
+// line parses and that every sample was preceded by a # TYPE header
+// for its metric family.
+func ParsePrometheus(rd io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	sc := bufio.NewScanner(rd)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		// Sample: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("prometheus line %d: no value in %q", lineNo, line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		family = strings.TrimSuffix(family, "_bucket")
+		family = strings.TrimSuffix(family, "_sum")
+		family = strings.TrimSuffix(family, "_count")
+		if !typed[family] {
+			return nil, fmt.Errorf("prometheus line %d: sample %q without # TYPE header", lineNo, name)
+		}
+		if _, dup := samples[name]; dup {
+			return nil, fmt.Errorf("prometheus line %d: duplicate sample %q", lineNo, name)
+		}
+		samples[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}

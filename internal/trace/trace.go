@@ -1,95 +1,317 @@
-// Package trace provides a cycle-stamped event log for the evaluation
-// harness: the use-case benchmark records task activations and load
-// phases and then computes per-window rates (the kilohertz columns of
-// Table 1).
+// Package trace is the platform's observability layer: cycle-stamped
+// typed events, per-subsystem metrics, and profiling exports.
+//
+// Every layer of the simulated stack — machine, kernel, EA-MPU, loader,
+// trusted components, attestation link — emits Events into a Sink. The
+// paper reports every result in clock cycles so behaviour can be
+// compared across platforms (§6); this package extends the idea to the
+// whole runtime: events carry the deterministic cycle counter, never
+// host time, so two runs with the same seed produce identical streams.
+//
+// Observability is strictly a lens: emission never charges simulated
+// cycles and a nil Sink costs one pointer check, so with tracing
+// disabled the paper's cycle metrics are byte-identical.
+//
+// The package has three parts:
+//
+//   - events: Event / Kind / Subsystem / Attr, the Sink interface and
+//     the queryable Buffer (this file);
+//   - metrics: Registry with counters, gauges and histograms
+//     (metrics.go), rendered in Prometheus text format (prom.go);
+//   - exporters: Chrome trace_event JSON (chrome.go) and the
+//     cycle-attribution profile (profile.go).
 package trace
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Event is one recorded occurrence.
-type Event struct {
-	Cycle uint64
-	Name  string
+// Subsystem identifies the layer that emitted an event.
+type Subsystem uint8
+
+// Subsystems, in stable wire order.
+const (
+	SubMachine Subsystem = iota
+	SubKernel
+	SubEAMPU
+	SubLoader
+	SubSupervisor
+	SubAttest
+	SubRemote
+	SubInject
+	SubHarness
+
+	numSubsystems
+)
+
+var subsystemNames = [numSubsystems]string{
+	"machine", "kernel", "eampu", "loader", "supervisor",
+	"attest", "remote", "inject", "harness",
 }
 
-// Log is an append-only event log. The zero value is ready to use.
-type Log struct {
+// String names the subsystem.
+func (s Subsystem) String() string {
+	if int(s) < len(subsystemNames) {
+		return subsystemNames[s]
+	}
+	return fmt.Sprintf("sub(%d)", uint8(s))
+}
+
+// ParseSubsystem is String's inverse (exporter round-trips).
+func ParseSubsystem(s string) (Subsystem, error) {
+	for i, n := range subsystemNames {
+		if n == s {
+			return Subsystem(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown subsystem %q", s)
+}
+
+// Kind classifies an event within the platform-wide taxonomy.
+type Kind uint8
+
+// Event kinds, in stable wire order.
+const (
+	KindTaskInstall Kind = iota // a task entered the system
+	KindTaskSwitch              // the scheduler dispatched a task
+	KindTaskExit                // a task left the system (with cause)
+	KindSyscall                 // an SVC trap reached the kernel
+	KindIRQ                     // a non-timer interrupt was serviced
+	KindTick                    // the scheduler tick fired
+	KindMutex                   // a mutex event (priority inheritance)
+	KindLoadPhase               // a dynamic load crossed a phase boundary
+	KindViolation               // the EA-MPU denied an access
+	KindSupervisor              // a supervisor recovery action
+	KindAttest                  // an attestation quote round-trip
+	KindActivation              // a harness-observed task activation
+	KindInject                  // an injected fault
+	KindCustom                  // anything else
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"task-install", "task-switch", "task-exit", "syscall", "irq",
+	"tick", "mutex", "load-phase", "eampu-violation", "supervisor",
+	"attest", "activation", "inject", "custom",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind is String's inverse (exporter round-trips).
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// Attr is one structured event attribute: a key with either a string or
+// an unsigned numeric value. Numbers stay numbers through the exporters
+// so consumers (the profile builder, histograms) need not re-parse.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   uint64
+	IsNum bool
+}
+
+// Str builds a string-valued attribute.
+func Str(key, val string) Attr { return Attr{Key: key, Str: val} }
+
+// Num builds a numeric attribute.
+func Num(key string, val uint64) Attr { return Attr{Key: key, Num: val, IsNum: true} }
+
+// Hex builds a string attribute rendering val as hex (addresses).
+func Hex(key string, val uint64) Attr { return Attr{Key: key, Str: fmt.Sprintf("%#x", val)} }
+
+// Value renders the attribute value.
+func (a Attr) Value() string {
+	if a.IsNum {
+		return fmt.Sprint(a.Num)
+	}
+	return a.Str
+}
+
+// Event is one cycle-stamped typed occurrence.
+type Event struct {
+	// Cycle is the simulated cycle counter at emission.
+	Cycle uint64
+	// Sub is the emitting subsystem.
+	Sub Subsystem
+	// Kind classifies the event.
+	Kind Kind
+	// Subject names what the event is about (task, provider, image).
+	Subject string
+	// Attrs are structured details, in emission order.
+	Attrs []Attr
+}
+
+// Attr returns the attribute with the given key, if present.
+func (e Event) Attr(key string) (Attr, bool) {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// NumAttr returns the numeric attribute with the given key (0, false if
+// absent or non-numeric).
+func (e Event) NumAttr(key string) (uint64, bool) {
+	a, ok := e.Attr(key)
+	if !ok || !a.IsNum {
+		return 0, false
+	}
+	return a.Num, true
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12d  %-10s %-15s", e.Cycle, e.Sub, e.Kind)
+	if e.Subject != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(e.Subject)
+	}
+	for _, a := range e.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Value())
+	}
+	return sb.String()
+}
+
+// Sink consumes events. Implementations must tolerate emission from
+// the simulation loop (hot path): Emit should be cheap and must never
+// mutate simulated state.
+type Sink interface {
+	Emit(e Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(e Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Multi fans every event out to all of the given sinks.
+func Multi(sinks ...Sink) Sink {
+	return SinkFunc(func(e Event) {
+		for _, s := range sinks {
+			s.Emit(e)
+		}
+	})
+}
+
+// Buffer is an append-only in-memory Sink with the query helpers the
+// evaluation harness uses (the kilohertz columns of Table 1). The zero
+// value is ready to use. Buffer is safe for concurrent emission; the
+// simulated platform is single-threaded, but the attestation link
+// serves exchanges from a host goroutine.
+type Buffer struct {
+	mu     sync.Mutex
 	events []Event
 }
 
-// Record appends an event at the given cycle.
-func (l *Log) Record(cycle uint64, name string) {
-	l.events = append(l.events, Event{Cycle: cycle, Name: name})
+// Emit implements Sink.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
 }
 
-// Recordf appends a formatted event.
-func (l *Log) Recordf(cycle uint64, format string, args ...any) {
-	l.Record(cycle, fmt.Sprintf(format, args...))
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
 }
 
-// Len returns the number of events.
-func (l *Log) Len() int { return len(l.events) }
-
-// Events returns a copy of the recorded events.
-func (l *Log) Events() []Event {
-	return append([]Event(nil), l.events...)
+// Events returns a copy of the buffered events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
 }
 
-// Count returns the number of events with the given name in the
-// half-open cycle window [from, to).
-func (l *Log) Count(name string, from, to uint64) int {
+// match reports whether e has the given kind and subject.
+func match(e Event, kind Kind, subject string) bool {
+	return e.Kind == kind && e.Subject == subject
+}
+
+// Count returns the number of (kind, subject) events in the half-open
+// cycle window [from, to).
+func (b *Buffer) Count(kind Kind, subject string, from, to uint64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n := 0
-	for _, e := range l.events {
-		if e.Name == name && e.Cycle >= from && e.Cycle < to {
+	for _, e := range b.events {
+		if match(e, kind, subject) && e.Cycle >= from && e.Cycle < to {
 			n++
 		}
 	}
 	return n
 }
 
-// RateKHz returns the occurrence rate of name in [from, to) in kHz,
-// given the platform clock in Hz.
-func (l *Log) RateKHz(name string, from, to uint64, clockHz uint64) float64 {
+// RateKHz returns the occurrence rate of (kind, subject) in [from, to)
+// in kHz, given the platform clock in Hz.
+func (b *Buffer) RateKHz(kind Kind, subject string, from, to uint64, clockHz uint64) float64 {
 	if to <= from {
 		return 0
 	}
-	n := l.Count(name, from, to)
+	n := b.Count(kind, subject, from, to)
 	seconds := float64(to-from) / float64(clockHz)
 	return float64(n) / seconds / 1000
 }
 
-// First returns the first event with the given name, if any.
-func (l *Log) First(name string) (Event, bool) {
-	for _, e := range l.events {
-		if e.Name == name {
+// First returns the first (kind, subject) event, if any.
+func (b *Buffer) First(kind Kind, subject string) (Event, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.events {
+		if match(e, kind, subject) {
 			return e, true
 		}
 	}
 	return Event{}, false
 }
 
-// Last returns the last event with the given name, if any.
-func (l *Log) Last(name string) (Event, bool) {
-	for i := len(l.events) - 1; i >= 0; i-- {
-		if l.events[i].Name == name {
-			return l.events[i], true
+// Last returns the last (kind, subject) event, if any.
+func (b *Buffer) Last(kind Kind, subject string) (Event, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.events) - 1; i >= 0; i-- {
+		if match(b.events[i], kind, subject) {
+			return b.events[i], true
 		}
 	}
 	return Event{}, false
 }
 
-// Gaps returns the cycle distances between consecutive events with the
-// given name, sorted ascending — the jitter profile of a periodic task.
-func (l *Log) Gaps(name string) []uint64 {
+// Gaps returns the cycle distances between consecutive (kind, subject)
+// events, sorted ascending — the jitter profile of a periodic task.
+func (b *Buffer) Gaps(kind Kind, subject string) []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var prev uint64
 	havePrev := false
 	var gaps []uint64
-	for _, e := range l.events {
-		if e.Name != name {
+	for _, e := range b.events {
+		if !match(e, kind, subject) {
 			continue
 		}
 		if havePrev {
@@ -102,27 +324,24 @@ func (l *Log) Gaps(name string) []uint64 {
 	return gaps
 }
 
-// MaxGap returns the largest inter-event gap for name (0 if fewer than
-// two events).
-func (l *Log) MaxGap(name string) uint64 {
-	gaps := l.Gaps(name)
+// MaxGap returns the largest inter-event gap for (kind, subject) — 0 if
+// fewer than two events.
+func (b *Buffer) MaxGap(kind Kind, subject string) uint64 {
+	gaps := b.Gaps(kind, subject)
 	if len(gaps) == 0 {
 		return 0
 	}
 	return gaps[len(gaps)-1]
 }
 
-// Hook returns a callback suitable for the kernel's OnTrace field,
-// appending every kernel event to the log.
-func (l *Log) Hook() func(cycle uint64, event string) {
-	return func(cycle uint64, event string) { l.Record(cycle, event) }
-}
-
-// String renders the log, one event per line.
-func (l *Log) String() string {
+// String renders the buffer, one event per line.
+func (b *Buffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var sb strings.Builder
-	for _, e := range l.events {
-		fmt.Fprintf(&sb, "%12d  %s\n", e.Cycle, e.Name)
+	for _, e := range b.events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

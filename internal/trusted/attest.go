@@ -10,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
+	"repro/internal/trace"
 )
 
 // Attest implements local and remote attestation (§3 "Attestation").
@@ -25,10 +26,11 @@ import (
 // EA-MPU rule on the key store admits reads from the RTM/Attest/Storage
 // code regions only.
 type Attest struct {
-	m   *machine.Machine
-	rtm *RTM
-	kp  []byte
-	ka  []byte // default provider's attestation key
+	m        *machine.Machine
+	rtm      *RTM
+	kp       []byte
+	ka       []byte // default provider's attestation key
+	provider string // default provider name (event labeling)
 	// perProvider caches per-provider keys ("a key derivation scheme
 	// which allows the creation of individual attestation keys per P",
 	// §3 footnote 2, citing SANCUS).
@@ -37,6 +39,42 @@ type Attest struct {
 	// platform will not attest them, locally or remotely, even if the
 	// binary is somehow loaded again.
 	quarantined map[sha1.Digest]bool
+
+	// Monotonic quote accounting.
+	quotes       uint64
+	quoteDenials uint64
+
+	// Obs, when set, receives a typed event per quote request
+	// (KindAttest, subject = provider).
+	Obs trace.Sink
+}
+
+// QuoteCounts returns the number of quotes issued and denied (unknown
+// identity or quarantine) since boot.
+func (a *Attest) QuoteCounts() (issued, denied uint64) { return a.quotes, a.quoteDenials }
+
+// noteQuote accounts one quote request and reports it on the sink.
+func (a *Attest) noteQuote(provider string, id rtos.TaskID, err error) {
+	if err != nil {
+		a.quoteDenials++
+	} else {
+		a.quotes++
+	}
+	if a.Obs == nil {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = err.Error()
+	}
+	a.Obs.Emit(trace.Event{
+		Cycle: a.m.Cycles(), Sub: trace.SubAttest,
+		Kind: trace.KindAttest, Subject: provider,
+		Attrs: []trace.Attr{
+			trace.Num("task", uint64(id)),
+			trace.Str("result", result),
+		},
+	})
 }
 
 // Quarantine marks a task identity as untrustworthy. Every later quote
@@ -85,6 +123,7 @@ func NewAttest(m *machine.Machine, rtm *RTM, provider string) (*Attest, error) {
 		rtm:         rtm,
 		kp:          kp,
 		ka:          hcrypto.DeriveKey(kp, AttestLabel, []byte(provider)),
+		provider:    provider,
 		perProvider: make(map[string][]byte),
 	}, nil
 }
@@ -107,12 +146,15 @@ func (a *Attest) providerKey(provider string) []byte {
 func (a *Attest) QuoteTaskForProvider(provider string, id rtos.TaskID, nonce uint64) (Quote, error) {
 	e, ok := a.rtm.LookupByTask(id)
 	if !ok {
+		a.noteQuote(provider, id, ErrUnknownIdentity)
 		return Quote{}, ErrUnknownIdentity
 	}
 	if a.quarantined[e.ID] {
+		a.noteQuote(provider, id, ErrQuarantined)
 		return Quote{}, ErrQuarantined
 	}
 	a.m.Charge(2 * machine.CostMeasurePerBlock)
+	a.noteQuote(provider, id, nil)
 	return Quote{
 		ID:    e.ID,
 		Nonce: nonce,
@@ -182,13 +224,16 @@ func UnmarshalQuote(b []byte) (Quote, error) {
 func (a *Attest) QuoteTask(id rtos.TaskID, nonce uint64) (Quote, error) {
 	e, ok := a.rtm.LookupByTask(id)
 	if !ok {
+		a.noteQuote(a.provider, id, ErrUnknownIdentity)
 		return Quote{}, ErrUnknownIdentity
 	}
 	if a.quarantined[e.ID] {
+		a.noteQuote(a.provider, id, ErrQuarantined)
 		return Quote{}, ErrQuarantined
 	}
 	// Two SHA-1 passes over a short message.
 	a.m.Charge(2 * machine.CostMeasurePerBlock)
+	a.noteQuote(a.provider, id, nil)
 	return Quote{
 		ID:    e.ID,
 		Nonce: nonce,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/rtos"
 	"repro/internal/sha1"
 	"repro/internal/telf"
+	"repro/internal/trace"
 )
 
 // The trusted supervisor turns the kernel's structured exit records into
@@ -175,7 +176,29 @@ type Supervisor struct {
 	events    []SupEvent
 	dropped   int
 	tcb       *rtos.TCB
+
+	counts SupCounts
+
+	// Obs, when set, receives every audit-log entry as a typed event
+	// (KindSupervisor, subject = task name). Unlike the bounded audit
+	// log, the sink sees the full stream.
+	Obs trace.Sink
 }
+
+// SupCounts are the supervisor's monotonic action counters — unlike the
+// audit log they are never truncated, so metrics stay exact over
+// arbitrarily long chaos runs.
+type SupCounts struct {
+	Faults          uint64 // fault exits observed on watched tasks
+	Restarts        uint64 // restart attempts initiated
+	RestartFailures uint64 // reloads that failed
+	Quarantines     uint64 // identities condemned
+	WatchdogKills   uint64 // hang + quota kills
+	Ended           uint64 // supervisions ended by voluntary exit
+}
+
+// Counts returns the supervisor's action counters.
+func (s *Supervisor) Counts() SupCounts { return s.counts }
 
 // Supervision cycle costs (simulated): the bookkeeping is cheap trusted
 // code, but it is not free.
@@ -278,6 +301,27 @@ func (s *Supervisor) logEvent(task, what, detail string) {
 	s.events = append(s.events, SupEvent{
 		Cycle: s.k.M.Cycles(), Task: task, What: what, Detail: detail,
 	})
+	switch what {
+	case "fault":
+		s.counts.Faults++
+	case "restart":
+		s.counts.Restarts++
+	case "restart-failed":
+		s.counts.RestartFailures++
+	case "quarantine":
+		s.counts.Quarantines++
+	case "watchdog-hang", "watchdog-quota":
+		s.counts.WatchdogKills++
+	case "ended":
+		s.counts.Ended++
+	}
+	if s.Obs != nil {
+		s.Obs.Emit(trace.Event{
+			Cycle: s.k.M.Cycles(), Sub: trace.SubSupervisor,
+			Kind: trace.KindSupervisor, Subject: task,
+			Attrs: []trace.Attr{trace.Str("what", what), trace.Str("detail", detail)},
+		})
+	}
 }
 
 // TaskExited is the kernel exit-hook target: classify the exit and
