@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos trace-check check bench tables interp-bench clean
+.PHONY: all build vet test race chaos trace-check slo-check check bench tables interp-bench latency-bench clean
 
 all: build
 
@@ -29,13 +29,21 @@ chaos:
 trace-check:
 	$(GO) test -race -v -run 'TestTraceCheck' ./cmd/tytan-sim/
 
+# slo-check validates the analysis layer end to end: a seeded
+# fault-injected sim exported to a Chrome trace, analyzed twice through
+# tytan-analyze with the checked-in SLO spec — reports must be
+# byte-identical and the spec must pass — under -race.
+slo-check:
+	$(GO) test -race -v -run 'TestSLOCheck' ./cmd/tytan-analyze/
+
 # check is the gate CI and pre-commit should run: build, vet, the full
 # test suite under the race detector, the chaos scenario, and the
-# observability exporter gate.
-check: build vet race chaos trace-check
+# observability and SLO gates.
+check: build vet race chaos trace-check slo-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .
+	$(GO) run ./cmd/tytan-bench -latency-json BENCH_latency.json
 
 tables:
 	$(GO) run ./cmd/tytan-bench
@@ -45,6 +53,11 @@ tables:
 interp-bench:
 	$(GO) run ./cmd/tytan-bench -interp-json BENCH_interp.json
 
+# latency-bench runs the instrumented latency scenario and writes
+# BENCH_latency.json (all values in simulated cycles — deterministic).
+latency-bench:
+	$(GO) run ./cmd/tytan-bench -latency-json BENCH_latency.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_interp.json
+	rm -f BENCH_interp.json BENCH_latency.json

@@ -1,0 +1,136 @@
+// Command tytan-analyze turns an exported trace into verdicts: it
+// reads a Chrome trace_event file produced by `tytan-sim -trace`,
+// reconstructs typed spans (interrupt service windows, load pipelines,
+// attestation round-trips, IPC deliveries, task activations), prints
+// per-class latency percentiles in cycles, and — given an SLO spec —
+// evaluates the rules and exits non-zero on violation, so it doubles
+// as a CI gate.
+//
+// Usage:
+//
+//	tytan-sim -trace t.json task.telf && tytan-analyze t.json
+//	tytan-sim -trace - task.telf | tytan-analyze -        # stdin
+//	tytan-analyze -slo ci.slo t.json                      # exit 1 on violation
+//	tytan-analyze -json report.json -folded stacks.txt t.json
+//
+// Exit status: 0 when the trace analyzed clean (including the empty
+// "no spans" case), 1 when an SLO rule was violated, 2 on usage or
+// input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analyze"
+)
+
+type config struct {
+	sloPath    string
+	jsonPath   string
+	foldedPath string
+	input      string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.sloPath, "slo", "", "evaluate the trace against this SLO spec file; violations make the exit status 1")
+	flag.StringVar(&cfg.jsonPath, "json", "", `write the report as JSON to this file ("-" = stdout, replacing the text report)`)
+	flag.StringVar(&cfg.foldedPath, "folded", "", `write folded stacks (flamegraph input) to this file ("-" = stdout)`)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tytan-analyze [flags] <trace.json | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.input = flag.Arg(0)
+
+	code, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-analyze:", err)
+	}
+	os.Exit(code)
+}
+
+// writeTo runs write against the named destination ("-" = stdout).
+func writeTo(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// run is the testable body: it returns the process exit code.
+func run(cfg config, stdout io.Writer) (int, error) {
+	var spec *analyze.Spec
+	if cfg.sloPath != "" {
+		f, err := os.Open(cfg.sloPath)
+		if err != nil {
+			return 2, err
+		}
+		spec, err = analyze.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			return 2, err
+		}
+	}
+
+	var in io.Reader
+	if cfg.input == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(cfg.input)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	a, report, err := analyze.AnalyzeTrace(in, spec)
+	if err != nil {
+		return 2, err
+	}
+
+	if cfg.jsonPath == "-" {
+		if err := report.WriteJSON(stdout); err != nil {
+			return 2, err
+		}
+	} else {
+		if err := report.WriteText(stdout); err != nil {
+			return 2, err
+		}
+		if cfg.jsonPath != "" {
+			if err := writeTo(cfg.jsonPath, stdout, report.WriteJSON); err != nil {
+				return 2, fmt.Errorf("-json: %w", err)
+			}
+		}
+	}
+	if cfg.foldedPath != "" {
+		err := writeTo(cfg.foldedPath, stdout, func(w io.Writer) error {
+			return analyze.WriteFolded(w, a)
+		})
+		if err != nil {
+			return 2, fmt.Errorf("-folded: %w", err)
+		}
+	}
+
+	if report.Verdict != nil && !report.Verdict.Pass {
+		return 1, fmt.Errorf("slo: %d of %d rules violated",
+			len(report.Verdict.Failed()), len(report.Verdict.Results))
+	}
+	return 0, nil
+}

@@ -9,6 +9,8 @@
 //	tytan-bench -only 4      # just Table 4
 //	tytan-bench -interp-json BENCH_interp.json
 //	                         # interpreter fast-path benchmark → JSON
+//	tytan-bench -latency-json BENCH_latency.json
+//	                         # IRQ/IPC/attestation latency percentiles → JSON
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	only := flag.Int("only", 0, "run only the given table number (1-8)")
 	md := flag.Bool("md", false, "emit GitHub-flavoured markdown instead of aligned text")
 	interpJSON := flag.String("interp-json", "", "benchmark the interpreter fast path and write the result JSON to this file")
+	latencyJSON := flag.String("latency-json", "", "run the instrumented latency scenario and write the per-class percentile JSON to this file")
 	flag.Parse()
 	render := benchlab.Table.String
 	if *md {
@@ -35,6 +38,14 @@ func main() {
 
 	if *interpJSON != "" {
 		if err := runInterpBench(*interpJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tytan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *latencyJSON != "" {
+		if err := runLatencyBench(*latencyJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "tytan-bench:", err)
 			os.Exit(1)
 		}
@@ -93,6 +104,30 @@ type interpBenchReport struct {
 
 // runInterpBench times the Table 1 use case with the fast path enabled
 // and disabled and writes the comparison to path as JSON.
+// runLatencyBench writes BENCH_latency.json: per-class latency
+// percentiles from the instrumented scenario. Everything in it is
+// simulated cycles, so the file is byte-identical across runs.
+func runLatencyBench(path string) error {
+	rep, err := benchlab.MeasureLatency()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("latency benchmark → %s (irq max %d, attest p99 %d, deadline misses %d)\n",
+		path, rep.IRQ.Max, rep.Attest.P99, rep.DeadlineMisses)
+	return nil
+}
+
 func runInterpBench(path string) error {
 	const iters = 50
 	timeMode := func(fast bool) (benchlab.UseCaseResult, float64, error) {

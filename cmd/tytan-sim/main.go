@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/analyze"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/isa"
@@ -43,7 +44,11 @@ type config struct {
 	tracePath   string
 	metricsPath string
 	profilePath string
-	files       []string
+	// SLO verification: spec file for the online monitor, and a
+	// periodic deadline (cycles) registered for every loaded task.
+	sloPath  string
+	deadline uint64
+	files    []string
 }
 
 func main() {
@@ -59,6 +64,8 @@ func main() {
 	flag.StringVar(&cfg.tracePath, "trace", "", `export the run's typed events as Chrome trace_event JSON to this file ("-" = stdout); load into chrome://tracing or Perfetto`)
 	flag.StringVar(&cfg.metricsPath, "metrics", "", `export platform metrics in Prometheus text format to this file ("-" = stdout)`)
 	flag.StringVar(&cfg.profilePath, "profile", "", `export the cycle-attribution profile (cycles per task and per load phase) to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.sloPath, "slo", "", `verify the run against an SLO spec file (see internal/analyze): rules are monitored online, the verdict printed after the run, and a violated spec makes the exit status non-zero`)
+	flag.Uint64Var(&cfg.deadline, "deadline", 0, "register a periodic deadline of N cycles for every loaded task; misses are stamped as deadline-miss events")
 	flag.Parse()
 	cfg.files = flag.Args()
 
@@ -109,15 +116,37 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	var spec *analyze.Spec
+	var monitor *analyze.Monitor
+	if cfg.sloPath != "" {
+		f, err := os.Open(cfg.sloPath)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		spec, err = analyze.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		monitor = analyze.NewMonitor(spec, nil)
+	}
 	var obs *core.Obs
-	if cfg.verbose || cfg.tracePath != "" || cfg.metricsPath != "" || cfg.profilePath != "" {
+	if cfg.verbose || monitor != nil || cfg.tracePath != "" || cfg.metricsPath != "" || cfg.profilePath != "" {
 		var extra []trace.Sink
 		if cfg.verbose {
 			extra = append(extra, trace.SinkFunc(func(e trace.Event) {
 				fmt.Println(e)
 			}))
 		}
+		if monitor != nil {
+			extra = append(extra, monitor)
+		}
 		obs = p.EnableObservability(extra...)
+		if monitor != nil {
+			// Violation events land in the same buffer the exporters
+			// read, so they show up in the exported trace.
+			monitor.SetOutput(obs.Buf)
+		}
 	}
 	if cfg.itrace > 0 {
 		left := cfg.itrace
@@ -168,6 +197,11 @@ func run(cfg config) error {
 			})
 			inj.SetTargets(targets...)
 			if err := p.Watch(tcb.ID); err != nil {
+				return err
+			}
+		}
+		if cfg.deadline > 0 {
+			if err := p.RegisterDeadline(tcb.ID, cfg.deadline); err != nil {
 				return err
 			}
 		}
@@ -244,6 +278,24 @@ func run(cfg config) error {
 				return fmt.Errorf("-profile: %w", err)
 			}
 		}
+	}
+	if monitor != nil {
+		// Full offline evaluation over everything the monitor saw —
+		// including the percentile rules the online pass defers.
+		verdict := monitor.Verdict()
+		fmt.Println()
+		for _, res := range verdict.Results {
+			mark := "PASS"
+			if !res.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("slo [%s] %-32s measured %d over %d sample(s)\n",
+				mark, res.Text, res.Measured, res.Samples)
+		}
+		if !verdict.Pass {
+			return fmt.Errorf("slo: %d of %d rules violated", len(verdict.Failed()), len(verdict.Results))
+		}
+		fmt.Printf("slo: PASS (%d rules)\n", len(verdict.Results))
 	}
 	return nil
 }

@@ -147,6 +147,73 @@ func TestTraceCheck(t *testing.T) {
 	}
 }
 
+// TestSLOFlag: -slo monitors the run online and turns a violated spec
+// into a non-zero exit, while a satisfied spec passes cleanly.
+func TestSLOFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := writeImage(t, dir)
+	writeSpec := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := writeSpec("good.slo", "irq_latency max <= 50000c\ndeadline_miss == 0\n")
+	if err := run(config{ms: 5, prio: 3, sloPath: good, deadline: 16 * 32_000, files: []string{path}}); err != nil {
+		t.Errorf("passing spec failed the run: %v", err)
+	}
+
+	strict := writeSpec("strict.slo", "irq_latency max <= 1c\n")
+	if err := run(config{ms: 5, prio: 3, sloPath: strict, files: []string{path}}); err == nil {
+		t.Error("violated spec did not fail the run")
+	}
+
+	bad := writeSpec("bad.slo", "nonsense_metric max <= 5\n")
+	if err := run(config{ms: 1, prio: 3, sloPath: bad, files: []string{path}}); err == nil {
+		t.Error("unparseable spec accepted")
+	}
+}
+
+// TestDeadlineFlagDetectsMisses: a task that sleeps through its
+// registered deadline windows trips `deadline_miss == 0`.
+func TestDeadlineFlagDetectsMisses(t *testing.T) {
+	dir := t.TempDir()
+	im, err := asm.Assemble(`
+.task "sleeper"
+.entry main
+.stack 128
+.text
+main:
+    li r0, 200000
+    svc 2
+    jmp main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sleeper.telf")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := filepath.Join(dir, "deadline.slo")
+	if err := os.WriteFile(spec, []byte("deadline_miss == 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{ms: 5, prio: 3, sloPath: spec, deadline: 32_000, files: []string{path}}); err == nil {
+		t.Error("sleeping task missed no deadlines")
+	}
+	// The same run without a registered deadline has nothing to miss.
+	if err := run(config{ms: 5, prio: 3, sloPath: spec, files: []string{path}}); err != nil {
+		t.Errorf("unmonitored run failed: %v", err)
+	}
+}
+
 func TestParseFaultSpec(t *testing.T) {
 	cfg, err := parseFaultSpec("seed=0x2a,classes=bitflips+irqstorms,period=90000")
 	if err != nil {

@@ -1,0 +1,374 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// ev is shorthand for building test events.
+func ev(cycle uint64, sub trace.Subsystem, kind trace.Kind, subject string, attrs ...trace.Attr) trace.Event {
+	return trace.Event{Cycle: cycle, Sub: sub, Kind: kind, Subject: subject, Attrs: attrs}
+}
+
+func spansOf(a *Analysis, class string) []Span {
+	var out []Span
+	for _, s := range a.Spans {
+		if s.Class == class {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestAnalyzeIRQSpans(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(1000, trace.SubKernel, trace.KindIRQ, "", trace.Num("line", 3), trace.Num("latency", 120)),
+		ev(2000, trace.SubKernel, trace.KindTick, "", trace.Num("line", 0), trace.Num("latency", 90)),
+	})
+	irq := spansOf(a, ClassIRQ)
+	if len(irq) != 1 || irq[0].Start != 880 || irq[0].End != 1000 {
+		t.Errorf("irq spans = %+v", irq)
+	}
+	tick := spansOf(a, ClassTick)
+	if len(tick) != 1 || tick[0].Duration() != 90 {
+		t.Errorf("tick spans = %+v", tick)
+	}
+}
+
+func TestAnalyzeTaskWindows(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(100, trace.SubKernel, trace.KindTaskSwitch, "a"),
+		ev(400, trace.SubKernel, trace.KindTaskSwitch, "b"),
+		ev(900, trace.SubKernel, trace.KindTaskSwitch, "a"),
+		ev(1000, trace.SubKernel, trace.KindCustom, ""), // advances LastCycle
+	})
+	tasks := spansOf(a, ClassTask)
+	if len(tasks) != 3 {
+		t.Fatalf("task spans = %+v", tasks)
+	}
+	if tasks[0].Subject != "a" || tasks[0].Duration() != 300 {
+		t.Errorf("first window = %+v", tasks[0])
+	}
+	// The final window is cut at the last cycle, closed (not dangling).
+	last := tasks[2]
+	if last.Subject != "a" || last.End != 1000 || last.Unclosed {
+		t.Errorf("last window = %+v", last)
+	}
+}
+
+func TestAnalyzeLoadSpans(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(10, trace.SubLoader, trace.KindLoadPhase, "img", trace.Str("phase", "alloc")),
+		ev(50, trace.SubLoader, trace.KindLoadPhase, "img", trace.Str("phase", "stream")),
+		ev(300, trace.SubLoader, trace.KindLoadPhase, "img", trace.Str("phase", "done"), trace.Num("total", 290)),
+	})
+	load := spansOf(a, ClassLoad)
+	if len(load) != 1 || load[0].Start != 10 || load[0].End != 300 || load[0].Unclosed {
+		t.Errorf("load spans = %+v", load)
+	}
+	if ph := spansOf(a, "load/alloc"); len(ph) != 1 || ph[0].Duration() != 40 {
+		t.Errorf("alloc phase = %+v", ph)
+	}
+	if ph := spansOf(a, "load/stream"); len(ph) != 1 || ph[0].Duration() != 250 {
+		t.Errorf("stream phase = %+v", ph)
+	}
+}
+
+func TestAnalyzeTruncatedLoadUnclosed(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(10, trace.SubLoader, trace.KindLoadPhase, "img", trace.Str("phase", "alloc")),
+		ev(500, trace.SubKernel, trace.KindCustom, ""),
+	})
+	load := spansOf(a, ClassLoad)
+	if len(load) != 1 || !load[0].Unclosed || load[0].End != 500 {
+		t.Errorf("unclosed load = %+v", load)
+	}
+	if got := len(a.Unclosed()); got != 2 { // whole-load + in-flight phase
+		t.Errorf("unclosed count = %d, want 2 (%+v)", got, a.Unclosed())
+	}
+}
+
+func TestAnalyzeAttestPairs(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(100, trace.SubRemote, trace.KindAttest, "prov", trace.Str("phase", "request")),
+		ev(700, trace.SubRemote, trace.KindAttest, "prov", trace.Str("phase", "reply"), trace.Num("rtt", 600)),
+		// Reply without a matched request: synthesized from rtt.
+		ev(2000, trace.SubRemote, trace.KindAttest, "prov", trace.Str("phase", "reply"), trace.Num("rtt", 450)),
+		// Component-side quote event: not a round-trip.
+		ev(2100, trace.SubAttest, trace.KindAttest, "task"),
+	})
+	att := spansOf(a, ClassAttest)
+	if len(att) != 2 {
+		t.Fatalf("attest spans = %+v", att)
+	}
+	if att[0].Duration() != 600 || att[1].Duration() != 450 {
+		t.Errorf("attest durations = %d, %d", att[0].Duration(), att[1].Duration())
+	}
+}
+
+func TestAnalyzeIPCSpans(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(100, trace.SubIPC, trace.KindIPC, "a",
+			trace.Str("dir", "send"), trace.Num("status", 0), trace.Num("len", 12), trace.Str("to", "b")),
+		ev(400, trace.SubKernel, trace.KindTaskSwitch, "b"),
+		// Failed send opens nothing.
+		ev(500, trace.SubIPC, trace.KindIPC, "a",
+			trace.Str("dir", "send"), trace.Num("status", 2), trace.Num("len", 12), trace.Str("to", "b")),
+	})
+	ipc := spansOf(a, ClassIPC)
+	if len(ipc) != 1 || ipc[0].Duration() != 300 || ipc[0].Subject != "b" {
+		t.Errorf("ipc spans = %+v", ipc)
+	}
+}
+
+func TestAnalyzeCounters(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(10, trace.SubKernel, trace.KindDeadlineMiss, "t"),
+		ev(20, trace.SubEAMPU, trace.KindViolation, "t"),
+		ev(30, trace.SubAnalyze, trace.KindSLOViolation, "irq_latency"),
+	})
+	if a.DeadlineMisses != 1 || a.Violations != 1 || a.SLOViolations != 1 {
+		t.Errorf("counters = %d %d %d", a.DeadlineMisses, a.Violations, a.SLOViolations)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	one := []uint64{42}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := Percentile(one, q); got != 42 {
+			t.Errorf("p%.0f of singleton = %d", q*100, got)
+		}
+	}
+	hundred := make([]uint64, 100)
+	for i := range hundred {
+		hundred[i] = uint64(i + 1)
+	}
+	if got := Percentile(hundred, 0.50); got != 50 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := Percentile(hundred, 0.99); got != 99 {
+		t.Errorf("p99 = %d", got)
+	}
+	st := Summarize(hundred)
+	if st.Min != 1 || st.Max != 100 || st.Count != 100 || st.Sum != 5050 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpecString(`
+# comment
+irq_latency p99 <= 2000c
+deadline_miss == 0
+attest_rtt max <= 600000
+span:load/stream mean < 1000c  # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 4 {
+		t.Fatalf("rules = %+v", spec.Rules)
+	}
+	if r := spec.Rules[1]; r.Agg != AggCount || r.Bound != 0 || r.Op != "==" {
+		t.Errorf("deadline rule = %+v", r)
+	}
+	if r := spec.Rules[3]; r.Metric != "span:load/stream" || r.Agg != AggMean {
+		t.Errorf("span rule = %+v", r)
+	}
+
+	for _, bad := range []string{
+		"irq_latency p99 <= ",
+		"irq_latency p42 <= 100",
+		"irq_latency p99 ~= 100",
+		"unknown_metric max <= 100",
+		"irq_latency p99 <= notanumber",
+		"too many fields here now 5",
+	} {
+		if _, err := ParseSpecString(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(1000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 100)),
+		ev(2000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 300)),
+		ev(3000, trace.SubKernel, trace.KindDeadlineMiss, "t"),
+	})
+	spec, err := ParseSpecString(`
+irq_latency max <= 250c
+irq_latency p50 <= 150c
+deadline_miss == 0
+attest_rtt max <= 10c
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := spec.Evaluate(a)
+	if v.Pass {
+		t.Error("verdict passed; want fail")
+	}
+	wantPass := []bool{false, true, false, true} // attest: vacuous
+	for i, res := range v.Results {
+		if res.Pass != wantPass[i] {
+			t.Errorf("rule %d (%s): pass=%v measured=%d", i, res.Text, res.Pass, res.Measured)
+		}
+	}
+	if v.Results[0].Measured != 300 {
+		t.Errorf("max measured = %d", v.Results[0].Measured)
+	}
+	if len(v.Failed()) != 2 {
+		t.Errorf("failed = %+v", v.Failed())
+	}
+}
+
+func TestMonitorOnline(t *testing.T) {
+	spec, err := ParseSpecString(`
+irq_latency max <= 200c
+deadline_miss == 0
+irq_latency p99 <= 100c
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out trace.Buffer
+	m := NewMonitor(spec, nil)
+	m.SetOutput(&out)
+
+	m.Emit(ev(1000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 150)))
+	if m.Violations() != 0 {
+		t.Errorf("violations after ok sample = %d", m.Violations())
+	}
+	m.Emit(ev(2000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 500)))
+	if m.Violations() != 1 {
+		t.Errorf("violations after bad sample = %d", m.Violations())
+	}
+	// The same rule fires only once.
+	m.Emit(ev(3000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 600)))
+	m.Emit(ev(4000, trace.SubKernel, trace.KindDeadlineMiss, "t"))
+	if m.Violations() != 2 {
+		t.Errorf("violations = %d, want 2", m.Violations())
+	}
+	if got := m.FiredRules(); len(got) != 2 || !strings.Contains(got[0], "max") {
+		t.Errorf("fired = %v", got)
+	}
+
+	evs := out.Events()
+	if len(evs) != 2 {
+		t.Fatalf("emitted events = %+v", evs)
+	}
+	for _, e := range evs {
+		if e.Kind != trace.KindSLOViolation || e.Sub != trace.SubAnalyze {
+			t.Errorf("violation event = %+v", e)
+		}
+	}
+	if evs[0].Subject != "irq_latency" {
+		t.Errorf("subject = %q", evs[0].Subject)
+	}
+	if _, ok := evs[0].NumAttr("measured"); !ok {
+		t.Error("violation lacks measured attr")
+	}
+
+	// The full verdict also catches the deferred percentile rule.
+	v := m.Verdict()
+	if v.Pass {
+		t.Error("full verdict passed")
+	}
+	if len(v.Failed()) != 3 {
+		t.Errorf("full verdict failed = %+v", v.Failed())
+	}
+}
+
+func TestMonitorIgnoresOwnViolations(t *testing.T) {
+	spec, err := ParseSpecString("eampu_violation == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(spec, nil)
+	m.Emit(ev(10, trace.SubAnalyze, trace.KindSLOViolation, "x"))
+	if m.Violations() != 0 || len(m.Verdict().Results) != 1 {
+		t.Error("monitor reacted to an SLO-violation event")
+	}
+	if m.Verdict().Results[0].Measured != 0 {
+		t.Error("violation event leaked into the analyzed stream")
+	}
+}
+
+func TestReportText(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(1000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 100)),
+		ev(100, trace.SubKernel, trace.KindTaskSwitch, "a"),
+	})
+	spec, _ := ParseSpecString("irq_latency max <= 50c")
+	rep := BuildReport(a, spec.Evaluate(a))
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"irq", "task", "SLO: FAIL", "[FAIL]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+
+	empty := BuildReport(Analyze(nil), nil)
+	buf.Reset()
+	if err := empty.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Errorf("empty report = %q", buf.String())
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.SubKernel, trace.KindTaskSwitch, "a"),
+		ev(1000, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 100)),
+		ev(2000, trace.SubKernel, trace.KindTaskSwitch, "b"),
+		ev(3000, trace.SubLoader, trace.KindLoadPhase, "img", trace.Str("phase", "alloc")),
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := BuildReport(Analyze(events), nil).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("JSON report not deterministic")
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(0, trace.SubKernel, trace.KindTaskSwitch, "a"),
+		ev(500, trace.SubKernel, trace.KindIRQ, "", trace.Num("latency", 100)),
+		ev(1000, trace.SubKernel, trace.KindTaskSwitch, "b"),
+		ev(2000, trace.SubKernel, trace.KindTaskSwitch, "a"),
+		ev(3000, trace.SubKernel, trace.KindCustom, ""),
+	})
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Task self-time lines plus the IRQ span nested under task a.
+	for _, want := range []string{"a 2000\n", "b 1000\n", "a;irq 100\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output lacks %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: sorted lines.
+	if buf.String() != out {
+		t.Error("folded output changed between reads")
+	}
+}

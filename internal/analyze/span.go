@@ -1,0 +1,309 @@
+// Package analyze is the trace-analysis layer: it turns the raw typed
+// event stream of internal/trace into verdicts. A deterministic span
+// engine pairs start/end events into typed spans (interrupt service
+// windows, load-pipeline phases, attestation round-trips, IPC
+// deliveries, task activation windows); latency reports aggregate the
+// spans into per-class percentile tables; and a small declarative SLO
+// language (slo.go) evaluates bounds over them — online as a
+// trace.Sink while the simulation runs, or offline over an exported
+// Chrome trace.
+//
+// The whole layer is pure: it reads events and produces values, never
+// touching simulated state or charging cycles, so the paper's cycle
+// metrics are byte-identical with analysis attached or detached — the
+// same zero-impact contract the trace package keeps.
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Span classes, as reported in latency tables and SLO metrics.
+const (
+	ClassIRQ    = "irq"    // non-timer interrupt: line raise → handler exit
+	ClassTick   = "tick"   // timer interrupt: fire → handler exit
+	ClassLoad   = "load"   // dynamic load: request start → schedulable
+	ClassAttest = "attest" // attestation round-trip: request → verified reply
+	ClassIPC    = "ipc"    // secure IPC: proxy send → receiver dispatched
+	ClassTask   = "task"   // task activation window: dispatch → next dispatch
+)
+
+// loadPhaseClass prefixes per-phase load sub-spans ("load/stream").
+const loadPhaseClass = "load/"
+
+// Span is one reconstructed interval of the simulated timeline.
+type Span struct {
+	// Class groups spans for aggregation (see the Class constants;
+	// load-pipeline sub-spans use "load/<phase>").
+	Class string
+	// Subject names what the span is about (task, image, provider).
+	Subject string
+	// Start and End are the bounding cycles (End >= Start).
+	Start, End uint64
+	// Unclosed marks a span whose end event never arrived (truncated
+	// trace, still-running operation). End holds the last cycle the
+	// trace covers; unclosed spans are reported, never dropped.
+	Unclosed bool
+}
+
+// Duration returns the span length in cycles.
+func (s Span) Duration() uint64 { return s.End - s.Start }
+
+// Analysis is the result of running the span engine over a trace.
+type Analysis struct {
+	// Events is the analyzed stream, in input order.
+	Events []trace.Event
+	// Spans holds every reconstructed span, ordered by (Start, Class,
+	// Subject) so reports are deterministic.
+	Spans []Span
+	// LastCycle is the highest cycle stamp in the stream (the window
+	// unclosed spans are cut at).
+	LastCycle uint64
+	// DeadlineMisses counts KindDeadlineMiss events.
+	DeadlineMisses int
+	// Violations counts KindViolation (EA-MPU) events.
+	Violations int
+	// SLOViolations counts KindSLOViolation events already present in
+	// the stream (a prior online monitor's verdicts).
+	SLOViolations int
+}
+
+// Unclosed returns the unclosed spans.
+func (a *Analysis) Unclosed() []Span {
+	var out []Span
+	for _, s := range a.Spans {
+		if s.Unclosed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Durations returns the sorted durations of every *closed* span whose
+// class is one of the given classes.
+func (a *Analysis) Durations(classes ...string) []uint64 {
+	want := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	var out []uint64
+	for _, s := range a.Spans {
+		if !s.Unclosed && want[s.Class] {
+			out = append(out, s.Duration())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Classes returns the distinct span classes present, sorted.
+func (a *Analysis) Classes() []string {
+	seen := make(map[string]bool)
+	for _, s := range a.Spans {
+		seen[s.Class] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// openSpan tracks a span whose end event has not arrived yet.
+type openSpan struct {
+	class   string
+	subject string
+	start   uint64
+}
+
+// Analyze runs the span engine over an event stream (emission order, as
+// produced by trace.Buffer or ReadChromeTrace). It is tolerant of
+// truncated traces: whatever is still open when the stream ends is
+// reported as an unclosed span cut at the last observed cycle.
+func Analyze(events []trace.Event) *Analysis {
+	a := &Analysis{Events: events}
+	for _, e := range events {
+		if e.Cycle > a.LastCycle {
+			a.LastCycle = e.Cycle
+		}
+	}
+
+	var open []openSpan // in-flight loads, attest requests, IPC sends
+	closeOne := func(class, subject string, end uint64) (openSpan, bool) {
+		for i, o := range open {
+			if o.class == class && o.subject == subject {
+				open = append(open[:i], open[i+1:]...)
+				return o, true
+			}
+		}
+		return openSpan{}, false
+	}
+
+	// curTask / curSince track the running task for activation windows.
+	var curTask string
+	var curSince uint64
+	haveTask := false
+
+	// loadPhase tracks the current phase of each in-flight load so
+	// phase transitions close the previous phase's sub-span.
+	type phaseMark struct {
+		phase string
+		since uint64
+	}
+	loadPhase := make(map[string]phaseMark)
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindIRQ, trace.KindTick:
+			// One event carries the whole service window: the kernel
+			// stamps completion and attributes the raise-to-exit latency.
+			class := ClassIRQ
+			if e.Kind == trace.KindTick {
+				class = ClassTick
+			}
+			lat, _ := e.NumAttr("latency")
+			start := e.Cycle
+			if lat <= e.Cycle {
+				start = e.Cycle - lat
+			}
+			a.Spans = append(a.Spans, Span{Class: class, Subject: e.Subject, Start: start, End: e.Cycle})
+
+		case trace.KindTaskSwitch:
+			if haveTask {
+				a.Spans = append(a.Spans, Span{Class: ClassTask, Subject: curTask, Start: curSince, End: e.Cycle})
+			}
+			curTask, curSince, haveTask = e.Subject, e.Cycle, true
+			// An IPC delivery closes when its receiver is dispatched.
+			if o, ok := closeOne(ClassIPC, e.Subject, e.Cycle); ok {
+				a.Spans = append(a.Spans, Span{Class: ClassIPC, Subject: o.subject, Start: o.start, End: e.Cycle})
+			}
+
+		case trace.KindLoadPhase:
+			ph, _ := e.Attr("phase")
+			switch ph.Str {
+			case "done", "failed":
+				if m, ok := loadPhase[e.Subject]; ok {
+					a.Spans = append(a.Spans, Span{Class: loadPhaseClass + m.phase, Subject: e.Subject, Start: m.since, End: e.Cycle})
+					delete(loadPhase, e.Subject)
+				}
+				if o, ok := closeOne(ClassLoad, e.Subject, e.Cycle); ok {
+					a.Spans = append(a.Spans, Span{Class: ClassLoad, Subject: o.subject, Start: o.start, End: e.Cycle})
+				}
+			default:
+				if m, ok := loadPhase[e.Subject]; ok {
+					a.Spans = append(a.Spans, Span{Class: loadPhaseClass + m.phase, Subject: e.Subject, Start: m.since, End: e.Cycle})
+				} else {
+					// First phase event of this load opens the whole-load span.
+					open = append(open, openSpan{class: ClassLoad, subject: e.Subject, start: e.Cycle})
+				}
+				loadPhase[e.Subject] = phaseMark{phase: ph.Str, since: e.Cycle}
+			}
+
+		case trace.KindAttest:
+			if e.Sub != trace.SubRemote {
+				break // component-side quote events are instantaneous
+			}
+			ph, _ := e.Attr("phase")
+			switch ph.Str {
+			case "request":
+				open = append(open, openSpan{class: ClassAttest, subject: e.Subject, start: e.Cycle})
+			default:
+				// Reply (or a legacy single-event exchange): close the
+				// matching request, falling back to the rtt attribute.
+				if o, ok := closeOne(ClassAttest, e.Subject, e.Cycle); ok {
+					a.Spans = append(a.Spans, Span{Class: ClassAttest, Subject: o.subject, Start: o.start, End: e.Cycle})
+				} else if rtt, ok := e.NumAttr("rtt"); ok && rtt <= e.Cycle {
+					a.Spans = append(a.Spans, Span{Class: ClassAttest, Subject: e.Subject, Start: e.Cycle - rtt, End: e.Cycle})
+				}
+			}
+
+		case trace.KindIPC:
+			dir, _ := e.Attr("dir")
+			to, hasTo := e.Attr("to")
+			status, _ := e.NumAttr("status")
+			if dir.Str == "send" && hasTo && status == 0 {
+				// Delivery latency: send → the receiver's next dispatch.
+				open = append(open, openSpan{class: ClassIPC, subject: to.Str, start: e.Cycle})
+			}
+
+		case trace.KindDeadlineMiss:
+			a.DeadlineMisses++
+		case trace.KindViolation:
+			a.Violations++
+		case trace.KindSLOViolation:
+			a.SLOViolations++
+		}
+	}
+
+	// Cut whatever is still in flight at the end of the trace.
+	if haveTask {
+		a.Spans = append(a.Spans, Span{Class: ClassTask, Subject: curTask, Start: curSince, End: a.LastCycle})
+	}
+	for name, m := range loadPhase {
+		a.Spans = append(a.Spans, Span{Class: loadPhaseClass + m.phase, Subject: name, Start: m.since, End: a.LastCycle, Unclosed: true})
+	}
+	for _, o := range open {
+		a.Spans = append(a.Spans, Span{Class: o.class, Subject: o.subject, Start: o.start, End: a.LastCycle, Unclosed: true})
+	}
+
+	sort.SliceStable(a.Spans, func(i, j int) bool {
+		si, sj := a.Spans[i], a.Spans[j]
+		if si.Start != sj.Start {
+			return si.Start < sj.Start
+		}
+		if si.Class != sj.Class {
+			return si.Class < sj.Class
+		}
+		return si.Subject < sj.Subject
+	})
+	return a
+}
+
+// Stats is the order-statistics summary of a span class. All values
+// are cycles; percentiles use the nearest-rank method so they are
+// exact observed values, deterministic across runs.
+type Stats struct {
+	Count int    `json:"count"`
+	Min   uint64 `json:"min"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+	Max   uint64 `json:"max"`
+	Sum   uint64 `json:"sum"`
+}
+
+// Percentile returns the nearest-rank q-quantile (0 < q <= 1) of the
+// sorted durations.
+func Percentile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*q + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Summarize computes Stats over sorted durations.
+func Summarize(sorted []uint64) Stats {
+	st := Stats{Count: len(sorted)}
+	if len(sorted) == 0 {
+		return st
+	}
+	st.Min = sorted[0]
+	st.Max = sorted[len(sorted)-1]
+	st.P50 = Percentile(sorted, 0.50)
+	st.P95 = Percentile(sorted, 0.95)
+	st.P99 = Percentile(sorted, 0.99)
+	for _, d := range sorted {
+		st.Sum += d
+	}
+	return st
+}

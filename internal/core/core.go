@@ -230,6 +230,14 @@ func (p *Platform) RunUntil(cycle uint64) error { return p.K.RunUntil(cycle) }
 // Cycles returns the platform's cycle counter.
 func (p *Platform) Cycles() uint64 { return p.M.Cycles() }
 
+// RegisterDeadline declares a periodic deadline for a task: the kernel
+// verifies at every tick that the task was dispatched in each period
+// window and stamps a deadline-miss event otherwise (see
+// internal/rtos/deadline.go). Monitoring charges no cycles.
+func (p *Platform) RegisterDeadline(id rtos.TaskID, period uint64) error {
+	return p.K.RegisterDeadline(id, period)
+}
+
 // Output returns everything tasks printed to the UART.
 func (p *Platform) Output() string { return p.UART.String() }
 

@@ -30,6 +30,7 @@ type Obs struct {
 	// Histograms fed from the event stream.
 	irqLatency *trace.Histogram
 	loadTotal  *trace.Histogram
+	attestRTT  *trace.Histogram
 }
 
 // irqLatencyBounds buckets interrupt-entry latency in cycles.
@@ -38,6 +39,10 @@ var irqLatencyBounds = []uint64{8, 16, 32, 64, 128, 256, 512, 1024}
 // loadTotalBounds buckets whole-load cost in cycles (Table 4's overall
 // column spans roughly 100k–3M cycles across image sizes).
 var loadTotalBounds = []uint64{50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000}
+
+// attestRTTBounds buckets attestation round-trips in cycles (a quote
+// is dominated by the HMAC over the task region, §5).
+var attestRTTBounds = []uint64{10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000}
 
 // EnableObservability wires the observability layer into every
 // subsystem and returns the handle. Extra sinks (a live printer, a
@@ -58,6 +63,8 @@ func (p *Platform) EnableObservability(extra ...trace.Sink) *Obs {
 		"Interrupt entry latency per serviced interrupt.", irqLatencyBounds...)
 	o.loadTotal = o.Reg.Histogram("tytan_load_total_cycles",
 		"End-to-end cost of completed dynamic loads.", loadTotalBounds...)
+	o.attestRTT = o.Reg.Histogram("tytan_attest_rtt_cycles",
+		"Attestation round-trip time, request to verified reply.", attestRTTBounds...)
 	o.registerGauges()
 
 	// Every subsystem feeds the buffer; the metrics sink peels
@@ -69,6 +76,7 @@ func (p *Platform) EnableObservability(extra ...trace.Sink) *Obs {
 	p.K.Obs = sink
 	if p.C != nil {
 		p.C.Attest.Obs = sink
+		p.C.Proxy.Obs = sink
 	}
 	if p.Sup != nil {
 		p.Sup.Obs = sink
@@ -92,6 +100,12 @@ func (o *Obs) observeEvent(e trace.Event) {
 		if a, ok := e.Attr("phase"); ok && a.Str == "done" {
 			if total, ok := e.NumAttr("total"); ok {
 				o.loadTotal.Observe(total)
+			}
+		}
+	case trace.KindAttest:
+		if e.Sub == trace.SubRemote {
+			if rtt, ok := e.NumAttr("rtt"); ok {
+				o.attestRTT.Observe(rtt)
 			}
 		}
 	}
@@ -121,6 +135,7 @@ func (o *Obs) registerGauges() {
 	r.Gauge("tytan_kernel_switches", "Context switches (dispatches).", p.K.Switches)
 	r.Gauge("tytan_kernel_preemptions", "Preemptive task switches.", p.K.Preempted)
 	r.Gauge("tytan_kernel_idle_cycles", "Cycles spent with no runnable task.", p.K.IdleCycles)
+	r.Gauge("tytan_kernel_deadline_misses", "Missed periodic-deadline windows.", p.K.DeadlineMisses)
 
 	// EA-MPU.
 	r.Gauge("tytan_eampu_violations", "Access-control violations raised.", p.M.MPU.Violations)

@@ -16,22 +16,47 @@ import (
 // TracedAttestor wraps the device-side Attestor with quote accounting
 // and typed round-trip events (KindAttest from SubRemote — the wire
 // view, complementing the trusted component's own SubAttest events).
+// Each exchange emits a request/reply event pair so the analysis layer
+// can reconstruct the round-trip span; the reply also carries the
+// round-trip time as an rtt attribute, making it self-contained for
+// truncated traces and online SLO monitoring.
 type TracedAttestor struct {
 	// Inner answers the actual challenges.
 	Inner Attestor
 	// Cycles supplies event timestamps — normally the device machine's
 	// cycle counter. Nil stamps zero (events still carry attributes).
 	Cycles func() uint64
-	// Obs receives one event per exchange; nil disables emission.
+	// Obs receives a request and a reply event per exchange; nil
+	// disables emission.
 	Obs trace.Sink
 
 	served uint64
 	denied uint64
 }
 
+// now reads the cycle source (0 when unset).
+func (t *TracedAttestor) now() uint64 {
+	if t.Cycles == nil {
+		return 0
+	}
+	return t.Cycles()
+}
+
 // QuoteByTruncID implements Attestor, delegating to Inner and
 // accounting the exchange.
 func (t *TracedAttestor) QuoteByTruncID(provider string, trunc, nonce uint64) (trusted.Quote, error) {
+	var start uint64
+	if t.Obs != nil {
+		start = t.now()
+		t.Obs.Emit(trace.Event{
+			Cycle: start, Sub: trace.SubRemote,
+			Kind: trace.KindAttest, Subject: provider,
+			Attrs: []trace.Attr{
+				trace.Str("phase", "request"),
+				trace.Hex("trunc", trunc),
+			},
+		})
+	}
 	q, err := t.Inner.QuoteByTruncID(provider, trunc, nonce)
 	result := "ok"
 	if err != nil {
@@ -41,16 +66,19 @@ func (t *TracedAttestor) QuoteByTruncID(provider string, trunc, nonce uint64) (t
 		atomic.AddUint64(&t.served, 1)
 	}
 	if t.Obs != nil {
-		var cycle uint64
-		if t.Cycles != nil {
-			cycle = t.Cycles()
+		end := t.now()
+		var rtt uint64
+		if end >= start {
+			rtt = end - start
 		}
 		t.Obs.Emit(trace.Event{
-			Cycle: cycle, Sub: trace.SubRemote,
+			Cycle: end, Sub: trace.SubRemote,
 			Kind: trace.KindAttest, Subject: provider,
 			Attrs: []trace.Attr{
+				trace.Str("phase", "reply"),
 				trace.Hex("trunc", trunc),
 				trace.Str("result", result),
+				trace.Num("rtt", rtt),
 			},
 		})
 	}

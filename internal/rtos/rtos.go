@@ -266,6 +266,11 @@ type Kernel struct {
 	irqLatencySum uint64
 	irqLatencyN   uint64
 
+	// Periodic-deadline monitoring (deadline.go). Nil until the first
+	// RegisterDeadline, so unmonitored kernels pay one nil check.
+	deadlines             map[TaskID]*deadlineWatch
+	deadlineMissesRetired uint64
+
 	// idleCycles counts time the CPU spent with nothing runnable.
 	idleCycles uint64
 

@@ -105,6 +105,7 @@ func (k *Kernel) tick() {
 	k.ticks++
 	k.M.Charge(machine.CostTick)
 	k.expireTimers()
+	k.checkDeadlines()
 }
 
 // checkStackBounds kills a task whose banked context frame has sunk
@@ -256,6 +257,7 @@ func (k *Kernel) dispatch(limit uint64) error {
 	t.State = StateRunning
 	t.Activations++
 	k.switches++
+	k.noteDispatch(t)
 	if k.Obs != nil {
 		k.emit(trace.KindTaskSwitch, t.Name,
 			trace.Num("id", uint64(t.ID)), trace.Num("prio", uint64(t.Priority)))

@@ -188,6 +188,7 @@ func (k *Kernel) removeTaskWith(t *TCB, reason ExitReason) {
 	if k.Hooks != nil {
 		k.Hooks.TaskExiting(k, t)
 	}
+	k.retireDeadline(t)
 	k.M.Charge(machine.CostTaskExitClean)
 	k.removeFromReady(t)
 	if t.IsISA() && t.Placement.Image != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // Chrome trace_event export. Events become "instant" records (ph "i")
@@ -14,23 +15,31 @@ import (
 //
 // The args payload is designed for lossless round-trips: attributes are
 // [key, tag, value] triples with tag "n" (uint64, encoded as a decimal
-// string to dodge JSON's float53 ceiling) or "s" (string).
+// string to dodge JSON's float53 ceiling) or "s" (string). The cycle
+// itself is carried twice: as the numeric ts (what the viewers read)
+// and as the exact decimal string args.cycle — any tool that funnels
+// ts through a float64 silently rounds cycles above 2^53, so the read
+// path prefers the string form when present.
 
-// chromeEvent is one trace_event record.
+// chromeEvent is one trace_event record. TS is a json.Number so writes
+// stay exact decimal integers while reads tolerate float-mangled
+// values (1.8446744073709552e+19) produced by tools that re-encode ts
+// through a float64.
 type chromeEvent struct {
-	Name string     `json:"name"`
-	Ph   string     `json:"ph"`
-	TS   uint64     `json:"ts"`
-	PID  int        `json:"pid"`
-	TID  int        `json:"tid"`
-	S    string     `json:"s"` // instant scope: thread
-	Args chromeArgs `json:"args"`
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	TS   json.Number `json:"ts"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	S    string      `json:"s"` // instant scope: thread
+	Args chromeArgs  `json:"args"`
 }
 
 // chromeArgs carries the structured payload of an event.
 type chromeArgs struct {
 	Sub     string      `json:"sub"`
 	Subject string      `json:"subject,omitempty"`
+	Cycle   string      `json:"cycle,omitempty"` // exact decimal cycle
 	Attrs   [][3]string `json:"attrs,omitempty"`
 }
 
@@ -49,14 +58,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Metadata:        map[string]string{"clock": "simulated-cycles"},
 	}
 	for _, e := range events {
+		cycle := strconv.FormatUint(e.Cycle, 10)
 		ce := chromeEvent{
 			Name: e.Kind.String(),
 			Ph:   "i",
-			TS:   e.Cycle,
+			TS:   json.Number(cycle),
 			PID:  1,
 			TID:  int(e.Sub) + 1,
 			S:    "t",
-			Args: chromeArgs{Sub: e.Sub.String(), Subject: e.Subject},
+			Args: chromeArgs{Sub: e.Sub.String(), Subject: e.Subject, Cycle: cycle},
 		}
 		for _, a := range e.Attrs {
 			if a.IsNum {
@@ -69,6 +79,29 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(file)
+}
+
+// eventCycle recovers the exact cycle of one record: the decimal
+// args.cycle string when present (lossless even after a float64-based
+// tool rewrote ts), falling back to ts — parsed as uint64 first, then
+// as a float for traces whose ts was already rounded.
+func eventCycle(ce chromeEvent) (uint64, error) {
+	if ce.Args.Cycle != "" {
+		n, err := strconv.ParseUint(ce.Args.Cycle, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad cycle arg %q: %v", ce.Args.Cycle, err)
+		}
+		return n, nil
+	}
+	ts := ce.TS.String()
+	if n, err := strconv.ParseUint(ts, 10, 64); err == nil {
+		return n, nil
+	}
+	f, err := ce.TS.Float64()
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad ts %q", ts)
+	}
+	return uint64(f), nil
 }
 
 // ReadChromeTrace decodes a trace produced by WriteChromeTrace back
@@ -95,12 +128,16 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 		if want := int(sub) + 1; ce.TID != want {
 			return nil, fmt.Errorf("chrome trace: event %d: tid %d does not match subsystem %s", i, ce.TID, sub)
 		}
-		e := Event{Cycle: ce.TS, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
+		cycle, err := eventCycle(ce)
+		if err != nil {
+			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		}
+		e := Event{Cycle: cycle, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
 		for _, raw := range ce.Args.Attrs {
 			switch raw[1] {
 			case "n":
-				var n uint64
-				if _, err := fmt.Sscan(raw[2], &n); err != nil {
+				n, err := strconv.ParseUint(raw[2], 10, 64)
+				if err != nil {
 					return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %v", i, raw[2], err)
 				}
 				e.Attrs = append(e.Attrs, Num(raw[0], n))

@@ -43,13 +43,15 @@ const (
 	SubRemote
 	SubInject
 	SubHarness
+	SubIPC
+	SubAnalyze
 
 	numSubsystems
 )
 
 var subsystemNames = [numSubsystems]string{
 	"machine", "kernel", "eampu", "loader", "supervisor",
-	"attest", "remote", "inject", "harness",
+	"attest", "remote", "inject", "harness", "ipc", "analyze",
 }
 
 // String names the subsystem.
@@ -89,6 +91,9 @@ const (
 	KindActivation              // a harness-observed task activation
 	KindInject                  // an injected fault
 	KindCustom                  // anything else
+	KindIPC                     // a secure-IPC proxy operation
+	KindDeadlineMiss            // a registered periodic task missed a deadline
+	KindSLOViolation            // an SLO rule was violated (online monitor)
 
 	numKinds
 )
@@ -96,7 +101,8 @@ const (
 var kindNames = [numKinds]string{
 	"task-install", "task-switch", "task-exit", "syscall", "irq",
 	"tick", "mutex", "load-phase", "eampu-violation", "supervisor",
-	"attest", "activation", "inject", "custom",
+	"attest", "activation", "inject", "custom", "ipc",
+	"deadline-miss", "slo-violation",
 }
 
 // String names the kind.

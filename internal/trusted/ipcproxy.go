@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/rtos"
+	"repro/internal/trace"
 )
 
 // IPCProxy implements TyTAN's secure inter-process communication (§3,
@@ -45,6 +46,11 @@ type IPCProxy struct {
 	sends   uint64
 	dropped uint64
 	windows []*SharedWindow
+
+	// Obs, when set, receives one KindIPC event per proxy operation
+	// (send attempts with their delivery status, blocking receives).
+	// Emission charges no cycles, preserving the zero-impact contract.
+	Obs trace.Sink
 }
 
 // Mailbox layout constants.
@@ -94,10 +100,43 @@ func mailboxBase(e *RegistryEntry) (uint32, bool) {
 	return e.Placement.BSSBase(), true
 }
 
+// emitIPC sends one typed proxy event (nil sink: no-op, no attrs built
+// by callers that guard themselves).
+func (p *IPCProxy) emitIPC(subject string, attrs ...trace.Attr) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.Emit(trace.Event{
+		Cycle: p.m.Cycles(), Sub: trace.SubIPC,
+		Kind: trace.KindIPC, Subject: subject, Attrs: attrs,
+	})
+}
+
 // Send performs an asynchronous delivery on behalf of sender (resolved
 // from the interrupt origin). payload is at most MaxPayloadLen bytes.
 // The returned status is the r0 value of the ABI.
 func (p *IPCProxy) Send(k *rtos.Kernel, sender *rtos.TCB, recvTrunc uint64, payload []uint32, length uint32, sync bool) int {
+	status, recvName := p.deliver(k, sender, recvTrunc, payload, length, sync)
+	if p.Obs != nil {
+		attrs := []trace.Attr{
+			trace.Str("dir", "send"),
+			trace.Num("status", uint64(status)),
+			trace.Num("len", uint64(length)),
+		}
+		if recvName != "" {
+			attrs = append(attrs, trace.Str("to", recvName))
+		}
+		if sync {
+			attrs = append(attrs, trace.Str("mode", "sync"))
+		}
+		p.emitIPC(sender.Name, attrs...)
+	}
+	return status
+}
+
+// deliver is Send's body; it returns the ABI status and the resolved
+// receiver name (empty if resolution failed).
+func (p *IPCProxy) deliver(k *rtos.Kernel, sender *rtos.TCB, recvTrunc uint64, payload []uint32, length uint32, sync bool) (int, string) {
 	// (1) Obtain the origin of the interrupt → sender identity.
 	p.m.Charge(machine.CostIPCOrigin)
 	var senderLo, senderHi uint32
@@ -110,14 +149,15 @@ func (p *IPCProxy) Send(k *rtos.Kernel, sender *rtos.TCB, recvTrunc uint64, payl
 	recv, scanned, err := p.rtm.LookupByTruncID(recvTrunc)
 	p.m.Charge(machine.CostIPCLookupBase + uint64(scanned)*machine.CostIPCLookupPerTask)
 	if err != nil {
-		return IPCStatusNoReceiver
+		return IPCStatusNoReceiver, ""
 	}
+	recvName := recv.Task.Name
 	if length > MaxPayloadLen {
-		return IPCStatusBadLen
+		return IPCStatusBadLen, recvName
 	}
 	box, ok := mailboxBase(recv)
 	if !ok {
-		return IPCStatusNoMailbox
+		return IPCStatusNoMailbox, recvName
 	}
 
 	// (3) Write m and idS into the receiver's memory — only possible
@@ -146,9 +186,9 @@ func (p *IPCProxy) Send(k *rtos.Kernel, sender *rtos.TCB, recvTrunc uint64, payl
 	if werr != nil {
 		p.dropped++
 		if werr == errMailboxFull {
-			return IPCStatusFull
+			return IPCStatusFull, recvName
 		}
-		return IPCStatusNoReceiver
+		return IPCStatusNoReceiver, recvName
 	}
 
 	// (4) Dispatch: wake a blocked receiver; for synchronous sends the
@@ -165,7 +205,7 @@ func (p *IPCProxy) Send(k *rtos.Kernel, sender *rtos.TCB, recvTrunc uint64, payl
 		k.YieldCurrent()
 	}
 	p.sends++
-	return IPCStatusOK
+	return IPCStatusOK, recvName
 }
 
 var errMailboxFull = errors.New("trusted: mailbox full")
@@ -217,8 +257,14 @@ func (p *IPCProxy) HandleRecv(k *rtos.Kernel, t *rtos.TCB) error {
 		flags, _ = p.m.Read32(box + mailboxFlagOff)
 	})
 	if flags != 0 {
+		if p.Obs != nil {
+			p.emitIPC(t.Name, trace.Str("dir", "recv"), trace.Str("state", "ready"))
+		}
 		k.M.SetReg(isa.R0, rtos.EntryMessage)
 		return nil
+	}
+	if p.Obs != nil {
+		p.emitIPC(t.Name, trace.Str("dir", "recv"), trace.Str("state", "blocked"))
 	}
 	return k.BlockCurrent()
 }
