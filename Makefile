@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos trace-check slo-check check bench tables interp-bench latency-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check check bench tables interp-bench latency-bench clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own static analysis: the determinism vet passes
+# over the simulator source (tytan-vet) and the CFG-based binary
+# verifier over every shipped task source (tytan-lint).
+lint:
+	$(GO) run ./cmd/tytan-vet
+	$(GO) run ./cmd/tytan-lint examples/tasks/*.s
 
 test:
 	$(GO) test ./...
@@ -36,10 +43,10 @@ trace-check:
 slo-check:
 	$(GO) test -race -v -run 'TestSLOCheck' ./cmd/tytan-analyze/
 
-# check is the gate CI and pre-commit should run: build, vet, the full
-# test suite under the race detector, the chaos scenario, and the
+# check is the gate CI and pre-commit should run: build, vet, lint, the
+# full test suite under the race detector, the chaos scenario, and the
 # observability and SLO gates.
-check: build vet race chaos trace-check slo-check
+check: build vet lint race chaos trace-check slo-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

@@ -1,0 +1,147 @@
+// Command tytan-lint statically verifies TELF task images: it decodes
+// each image's code section into a control-flow graph and reports
+// illegal instructions, branches that leave the code region or land
+// mid-instruction, memory accesses provably outside the task's region,
+// unknown service calls and stack-discipline problems — the same
+// analysis the platform's strict pre-load gate runs (internal/sverify).
+//
+// Inputs may be encoded images (.telf) or assembly sources (.s), which
+// are assembled in memory first.
+//
+// Usage:
+//
+//	tytan-lint task.telf                 # text report
+//	tytan-lint -json - examples/tasks/*.s
+//	tytan-lint -strict task.s            # warnings also fail
+//
+// Exit status: 0 when every image is clean, 1 when any image has Error
+// findings (or, with -strict, warnings), 2 on usage or input errors.
+// Output depends only on the inputs: two runs are byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/sverify"
+	"repro/internal/telf"
+)
+
+type config struct {
+	jsonPath string
+	strict   bool
+	inputs   []string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.jsonPath, "json", "", `write the reports as JSON to this file ("-" = stdout, replacing the text report)`)
+	flag.BoolVar(&cfg.strict, "strict", false, "treat warnings as errors for the exit status")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tytan-lint [flags] <image.telf | task.s> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.inputs = flag.Args()
+
+	code, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-lint:", err)
+	}
+	os.Exit(code)
+}
+
+// loadImage reads one input: .s sources are assembled, anything else is
+// decoded as an encoded TELF image.
+func loadImage(path string) (*telf.Image, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") {
+		im, err := asm.Assemble(string(b))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return im, nil
+	}
+	im, err := telf.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return im, nil
+}
+
+// run is the testable body: it returns the process exit code.
+func run(cfg config, stdout io.Writer) (int, error) {
+	reports := make([]*sverify.Report, 0, len(cfg.inputs))
+	for _, path := range cfg.inputs {
+		im, err := loadImage(path)
+		if err != nil {
+			return 2, err
+		}
+		reports = append(reports, sverify.Verify(im, sverify.Config{}))
+	}
+
+	dirty := false
+	for _, rep := range reports {
+		_, warn, errs := rep.Counts()
+		if errs > 0 || (cfg.strict && warn > 0) {
+			dirty = true
+		}
+	}
+
+	write := func(w io.Writer) error {
+		for _, rep := range reports {
+			if err := rep.WriteText(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if cfg.jsonPath != "" {
+		write = func(w io.Writer) error {
+			for _, rep := range reports {
+				if err := rep.WriteJSON(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	dest := cfg.jsonPath
+	if dest == "" {
+		dest = "-"
+	}
+	if err := writeTo(dest, stdout, write); err != nil {
+		return 2, err
+	}
+	if dirty {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// writeTo runs write against the named destination ("-" = stdout).
+func writeTo(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sverify"
+)
+
+// writeImage materializes a generated image as a .telf file.
+func writeImage(t *testing.T, dir string, class sverify.GenClass, seed uint64) string {
+	t.Helper()
+	im := sverify.GenImage(class, seed)
+	enc, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, im.Name+".telf")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := writeImage(t, dir, sverify.GenClean, 1)
+	broken := writeImage(t, dir, sverify.GenInvalidOpcode, 1)
+
+	var out bytes.Buffer
+	if code, err := run(config{inputs: []string{clean}}, &out); code != 0 || err != nil {
+		t.Fatalf("clean image: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean:") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code, err := run(config{inputs: []string{clean, broken}}, &out); code != 1 || err != nil {
+		t.Fatalf("broken image: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "REJECTED") {
+		t.Fatalf("missing rejection verdict:\n%s", out.String())
+	}
+
+	if code, err := run(config{inputs: []string{filepath.Join(dir, "missing.telf")}}, &out); code != 2 || err == nil {
+		t.Fatalf("missing input: code=%d err=%v", code, err)
+	}
+}
+
+func TestAssemblySourceInput(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "warn.s")
+	// An indirect jump: warning, so clean by default and dirty under
+	// -strict.
+	err := os.WriteFile(src, []byte(`
+.task "warn"
+.stack 64
+.text
+	ldi r1, 0
+	jr r1
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code, err := run(config{inputs: []string{src}}, &out); code != 0 || err != nil {
+		t.Fatalf("warning-only source: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if code, err := run(config{strict: true, inputs: []string{src}}, &out); code != 1 || err != nil {
+		t.Fatalf("-strict on warnings: code=%d err=%v", code, err)
+	}
+}
+
+// TestJSONDeterministic: two runs over the same inputs are
+// byte-identical (the acceptance bar for the report pipeline).
+func TestJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	inputs := []string{
+		writeImage(t, dir, sverify.GenClean, 2),
+		writeImage(t, dir, sverify.GenWildStore, 2),
+		writeImage(t, dir, sverify.GenBadSyscall, 2),
+	}
+	var a, b bytes.Buffer
+	if code, err := run(config{jsonPath: "-", inputs: inputs}, &a); code != 1 || err != nil {
+		t.Fatalf("first run: code=%d err=%v", code, err)
+	}
+	if code, err := run(config{jsonPath: "-", inputs: inputs}, &b); code != 1 || err != nil {
+		t.Fatalf("second run: code=%d err=%v", code, err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two -json runs over the same inputs differ")
+	}
+	if !strings.Contains(a.String(), `"severity"`) {
+		t.Fatalf("JSON output missing findings:\n%s", a.String())
+	}
+}
+
+// TestExamplesCorpusClean pins the checked-in example tasks to a clean
+// verdict — they are the images every demo loads.
+func TestExamplesCorpusClean(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "examples", "tasks", "*.s"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("examples corpus: %v (%d files)", err, len(matches))
+	}
+	var out bytes.Buffer
+	if code, err := run(config{inputs: matches}, &out); code != 0 || err != nil {
+		t.Fatalf("examples not clean: code=%d err=%v\n%s", code, err, out.String())
+	}
+}

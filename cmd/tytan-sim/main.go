@@ -37,6 +37,7 @@ type config struct {
 	itrace   int
 	normal   bool
 	baseline bool
+	verify   bool
 	prio     int
 	verbose  bool
 	faults   string
@@ -58,6 +59,7 @@ func main() {
 	flag.IntVar(&cfg.itrace, "itrace", 0, "print the first N executed instructions (disassembled)")
 	flag.BoolVar(&cfg.normal, "normal", false, "load images as normal (OS-accessible) tasks")
 	flag.BoolVar(&cfg.baseline, "baseline", false, "boot the unmodified-FreeRTOS baseline")
+	flag.BoolVar(&cfg.verify, "verify", false, "arm the strict pre-load gate: statically verify every image (see tytan-lint) and refuse broken ones before measurement; incompatible with -baseline")
 	flag.IntVar(&cfg.prio, "prio", 3, "task priority (0-7)")
 	flag.BoolVar(&cfg.verbose, "v", false, "print typed platform events as they happen")
 	flag.StringVar(&cfg.faults, "faults", "", `seeded fault injection: "seed=N[,classes=bitflips+irqstorms][,period=N]" — corrupts task RAM and raises IRQ storms while the trusted supervisor restarts and quarantines faulting tasks`)
@@ -98,7 +100,10 @@ func exportTo(path string, write func(io.Writer) error) error {
 }
 
 func run(cfg config) error {
-	p, err := core.NewPlatform(core.Options{Baseline: cfg.baseline})
+	if cfg.verify && cfg.baseline {
+		return fmt.Errorf("-verify needs the trusted platform (drop -baseline)")
+	}
+	p, err := core.NewPlatform(core.Options{Baseline: cfg.baseline, StrictVerify: cfg.verify})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,358 @@
+// Command tytan-vet runs repository-specific determinism passes over
+// the simulator's source (go/parser + go/types, stdlib only — no
+// external analysis framework). The simulator's contract is that a run
+// is a pure function of its inputs: same images, same seeds, same
+// cycle counts, byte-identical exports. Three classes of Go code break
+// that silently, so they are vetted mechanically:
+//
+//	hosttime      time.Now / time.Since in simulation code — host wall
+//	              time leaking into cycle-domain logic.
+//	unseededrand  package-level math/rand functions — the process-global
+//	              source makes runs irreproducible (use a seeded
+//	              rand.New or the repo's splitmix64 streams).
+//	maprange      ranging over a map while emitting events or writing
+//	              exporter output — Go randomizes map iteration order,
+//	              so the output order changes run to run (collect keys,
+//	              sort, then emit).
+//
+// A finding is waived by a `//tytan:allow <pass>` comment on the same
+// line or the line above, for the rare case where host time or map
+// order is genuinely wanted (e.g. absolute I/O deadlines on real
+// sockets).
+//
+// Usage:
+//
+//	tytan-vet              # vet ./internal/...
+//	tytan-vet dir ...      # vet specific directory trees
+//
+// Exit status: 0 clean, 1 findings, 2 on parse/type errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tytan-vet [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+	code, err := run(roots, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-vet:", err)
+	}
+	os.Exit(code)
+}
+
+// finding is one vet diagnostic.
+type finding struct {
+	pos  token.Position
+	pass string
+	msg  string
+}
+
+// vetter carries the shared parse/typecheck state across packages (one
+// importer instance so dependency typechecking is cached).
+type vetter struct {
+	fset     *token.FileSet
+	imp      types.Importer
+	findings []finding
+}
+
+// run vets every package directory under the given roots and prints
+// findings; it returns the process exit code.
+func run(roots []string, stdout io.Writer) (int, error) {
+	v := &vetter{fset: token.NewFileSet()}
+	v.imp = importer.ForCompiler(v.fset, "source", nil)
+
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+			return nil
+		})
+		if err != nil {
+			return 2, err
+		}
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		if err := v.checkDir(dir); err != nil {
+			return 2, fmt.Errorf("%s: %w", dir, err)
+		}
+	}
+
+	sort.Slice(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Offset < b.pos.Offset
+	})
+	for _, f := range v.findings {
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", f.pos, f.pass, f.msg)
+	}
+	if len(v.findings) > 0 {
+		fmt.Fprintf(stdout, "tytan-vet: %d finding(s)\n", len(v.findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// checkDir parses and typechecks one package directory, then runs the
+// passes over each file.
+func (v *vetter) checkDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(v.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: v.imp}
+	if _, err := conf.Check(dir, v.fset, files, info); err != nil {
+		return err
+	}
+	for _, f := range files {
+		waived := waivedLines(f, v.fset)
+		v.hosttime(f, info, waived)
+		v.unseededrand(f, info, waived)
+		v.maprange(f, info, waived)
+	}
+	return nil
+}
+
+// waivedLines maps line numbers to the set of passes a
+// `//tytan:allow <pass>` comment waives. A comment waives its own line
+// and the next (comment-above style).
+func waivedLines(f *ast.File, fset *token.FileSet) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "tytan:allow")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(c.Text[idx+len("tytan:allow"):])
+			pass := strings.TrimSuffix(strings.FieldsFunc(rest+" ", func(r rune) bool {
+				return r == ' ' || r == '\t'
+			})[0], ":")
+			if pass == "" {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if out[l] == nil {
+					out[l] = make(map[string]bool)
+				}
+				out[l][pass] = true
+			}
+		}
+	}
+	return out
+}
+
+// report records a finding unless a waiver covers it.
+func (v *vetter) report(pos token.Pos, pass, msg string, waived map[int]map[string]bool) {
+	p := v.fset.Position(pos)
+	if waived[p.Line][pass] {
+		return
+	}
+	v.findings = append(v.findings, finding{pos: p, pass: pass, msg: msg})
+}
+
+// hosttime flags calls to time.Now / time.Since: simulation state must
+// advance on simulated cycles, never the host clock.
+func (v *vetter) hosttime(f *ast.File, info *types.Info, waived map[int]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if name := fn.Name(); name == "Now" || name == "Since" {
+			v.report(sel.Pos(), "hosttime",
+				fmt.Sprintf("time.%s reads the host clock; cycle-domain code must use the machine's cycle counter", name), waived)
+		}
+		return true
+	})
+}
+
+// unseededrand flags package-level math/rand uses: the process-global
+// source is seeded from runtime entropy, so anything derived from it
+// differs run to run.
+func (v *vetter) unseededrand(f *ast.File, info *types.Info, waived map[int]map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		p := pkg.Imported().Path()
+		if p != "math/rand" && p != "math/rand/v2" {
+			return true
+		}
+		// Constructors (rand.New, rand.NewSource, ...) build explicitly
+		// seeded generators — that is the sanctioned idiom. Only the
+		// convenience functions route through the global source.
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || strings.HasPrefix(fn.Name(), "New") {
+			return true
+		}
+		v.report(sel.Pos(), "unseededrand",
+			fmt.Sprintf("package-level %s.%s uses the process-global random source; use an explicitly seeded generator", p, fn.Name()), waived)
+		return true
+	})
+}
+
+// outputCallNames are the calls that make a loop body order-sensitive:
+// anything that appends to an event stream or an export writer.
+var outputCallNames = map[string]bool{
+	"Emit": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Fprint": true, "Fprintf": true,
+	"Fprintln": true,
+}
+
+// maprange flags `range someMap` loops that emit events or write
+// output from their body, inside functions that produce ordered output
+// (emit trace events, take an io.Writer, or call Fprint*). Collecting
+// map entries into a slice and sorting before output is the sanctioned
+// idiom and passes.
+func (v *vetter) maprange(f *ast.File, info *types.Info, waived map[int]map[string]bool) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if !orderedOutputFunc(fd, info) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !bodyWritesOutput(rs.Body) {
+				return true
+			}
+			v.report(rs.Pos(), "maprange",
+				"map iteration order is randomized; this loop writes output per entry — collect, sort, then emit", waived)
+			return true
+		})
+	}
+}
+
+// orderedOutputFunc reports whether a function's output order is
+// observable: it emits trace events, writes to an io.Writer parameter,
+// or calls Fprint*.
+func orderedOutputFunc(fd *ast.FuncDecl, info *types.Info) bool {
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			if tv, ok := info.Types[p.Type]; ok && tv.Type.String() == "io.Writer" {
+				return true
+			}
+		}
+	}
+	ordered := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && strings.HasSuffix(tv.Type.String(), "trace.Event") {
+				ordered = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if name := sel.Sel.Name; name == "Emit" || strings.HasPrefix(name, "Fprint") {
+					ordered = true
+				}
+			}
+		}
+		return !ordered
+	})
+	return ordered
+}
+
+// bodyWritesOutput reports whether a statement block performs output
+// calls directly.
+func bodyWritesOutput(body *ast.BlockStmt) bool {
+	writes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && outputCallNames[sel.Sel.Name] {
+			writes = true
+		}
+		return !writes
+	})
+	return writes
+}

@@ -1,0 +1,54 @@
+// Package badpkg is the tytan-vet test fixture: one instance of every
+// determinism hazard the tool must flag, next to the clean and waived
+// variants it must not.
+package badpkg
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp leaks the host clock into a result (two hosttime findings).
+func Stamp() int64 {
+	t := time.Now()
+	return int64(time.Since(t))
+}
+
+// Jitter draws from the process-global source (unseededrand finding).
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Seeded draws from an explicitly seeded generator — clean.
+func Seeded() int {
+	return rand.New(rand.NewSource(1)).Intn(8)
+}
+
+// EmitAll writes a line per map entry straight from the range loop, so
+// output order is randomized (maprange finding).
+func EmitAll(w io.Writer, m map[string]int) {
+	for k, n := range m {
+		fmt.Fprintf(w, "%s %d\n", k, n)
+	}
+}
+
+// EmitSorted collects keys, sorts, then writes — the sanctioned idiom,
+// clean even though it also ranges over the map.
+func EmitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// Waived keeps the host clock on purpose and says so.
+func Waived() int64 {
+	return time.Now().Unix() //tytan:allow hosttime: fixture for the waiver path
+}

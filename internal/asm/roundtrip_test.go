@@ -1,0 +1,134 @@
+package asm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// canonical returns one representative instruction per opcode (plus a
+// few SP-flavoured variants), with only the fields that opcode encodes
+// set — so decoded instructions compare equal with ==.
+func canonical() []isa.Instruction {
+	return []isa.Instruction{
+		{Op: isa.OpNOP},
+		{Op: isa.OpHLT},
+		{Op: isa.OpRET},
+		{Op: isa.OpMOV, Rd: isa.R1, Rs: isa.R2},
+		{Op: isa.OpADD, Rd: isa.R0, Rs: isa.R3},
+		{Op: isa.OpSUB, Rd: isa.R4, Rs: isa.R5},
+		{Op: isa.OpAND, Rd: isa.R6, Rs: isa.R0},
+		{Op: isa.OpOR, Rd: isa.R2, Rs: isa.R1},
+		{Op: isa.OpXOR, Rd: isa.R3, Rs: isa.R3},
+		{Op: isa.OpSHL, Rd: isa.R1, Rs: isa.R4},
+		{Op: isa.OpSHR, Rd: isa.R5, Rs: isa.R2},
+		{Op: isa.OpMUL, Rd: isa.R0, Rs: isa.R6},
+		{Op: isa.OpCMP, Rd: isa.R1, Rs: isa.R0},
+		{Op: isa.OpLDI, Rd: isa.R3, Imm: -42},
+		{Op: isa.OpADDI, Rd: isa.R4, Imm: 100},
+		{Op: isa.OpADDI, Rd: isa.SP, Imm: -8},
+		{Op: isa.OpCMPI, Rd: isa.R1, Imm: 7},
+		{Op: isa.OpLUI, Rd: isa.R2, Imm: -21555}, // uint16(0xabcd), as LUI prints it
+		{Op: isa.OpLDI32, Rd: isa.R5, Imm32: 0xDEADBEEF},
+		{Op: isa.OpLDI32, Rd: isa.R0, Imm32: 0},
+		{Op: isa.OpLD, Rd: isa.R0, Rs: isa.R1, Imm: 8},
+		{Op: isa.OpLD, Rd: isa.R2, Rs: isa.SP, Imm: 4},
+		{Op: isa.OpLDB, Rd: isa.R2, Rs: isa.R3, Imm: -1},
+		{Op: isa.OpST, Rd: isa.R1, Rs: isa.R0, Imm: 4},
+		{Op: isa.OpSTB, Rd: isa.R6, Rs: isa.R5, Imm: 0},
+		{Op: isa.OpJMP, Imm: -3},
+		{Op: isa.OpBEQ, Imm: 2},
+		{Op: isa.OpBNE, Imm: 1},
+		{Op: isa.OpBLT, Imm: 5},
+		{Op: isa.OpBGE, Imm: -8},
+		{Op: isa.OpBLTU, Imm: 3},
+		{Op: isa.OpBGEU, Imm: -1},
+		{Op: isa.OpCALL, Imm: 4},
+		{Op: isa.OpJR, Rs: isa.R1},
+		{Op: isa.OpCALLR, Rs: isa.R2},
+		{Op: isa.OpPUSH, Rs: isa.R3},
+		{Op: isa.OpPOP, Rd: isa.R4},
+		{Op: isa.OpRDCYC, Rd: isa.R0},
+		{Op: isa.OpSVC, Imm: 5},
+	}
+}
+
+// assemble wraps one or more instruction lines in the minimal image
+// scaffolding and returns the assembled text section.
+func assemble(t *testing.T, lines []string) []byte {
+	t.Helper()
+	src := ".task \"rt\"\n.stack 64\n.text\n\t" + strings.Join(lines, "\n\t") + "\n"
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("reassemble failed:\n%s\n%v", src, err)
+	}
+	return im.Text
+}
+
+// TestInstructionRoundTrip: encode → decode → String() → assemble →
+// encode is the identity for every opcode. This is the property the
+// linter's disassembly column and the -d mode both lean on: what the
+// tools print is real assembler syntax for the same bytes.
+func TestInstructionRoundTrip(t *testing.T) {
+	for _, in := range canonical() {
+		enc := isa.Encode(nil, in)
+		dec, n, err := isa.Decode(enc)
+		if err != nil {
+			t.Errorf("%v: decode: %v", in, err)
+			continue
+		}
+		if int(n) != len(enc) {
+			t.Errorf("%v: decode consumed %d of %d bytes", in, n, len(enc))
+			continue
+		}
+		if dec != in {
+			t.Errorf("encode/decode not identity: %+v != %+v", dec, in)
+			continue
+		}
+		line := dec.String()
+		re := assemble(t, []string{line})
+		if len(re) < len(enc) || !bytes.Equal(re[:len(enc)], enc) {
+			t.Errorf("%q reassembled to % x, want % x", line, re, enc)
+		}
+	}
+}
+
+// TestStreamRoundTrip: a whole instruction stream survives
+// Disassemble → strip addresses → reassemble byte-identically.
+func TestStreamRoundTrip(t *testing.T) {
+	var blob []byte
+	for _, in := range canonical() {
+		blob = isa.Encode(blob, in)
+	}
+	var lines []string
+	for _, line := range strings.Split(strings.TrimSuffix(isa.Disassemble(0, blob), "\n"), "\n") {
+		_, ins, ok := strings.Cut(line, ":\t")
+		if !ok {
+			t.Fatalf("unexpected disassembly line %q", line)
+		}
+		lines = append(lines, ins)
+	}
+	re := assemble(t, lines)
+	if !bytes.Equal(re, blob) {
+		t.Fatalf("stream did not round-trip:\n got % x\nwant % x", re, blob)
+	}
+}
+
+// TestDataWordRoundTrip: undecodable words disassemble as .word
+// directives that reassemble to the same bytes (the data-in-text path).
+func TestDataWordRoundTrip(t *testing.T) {
+	blob := isa.Encode(nil, isa.Instruction{Op: isa.OpHLT})
+	blob = append(blob, 0x1F, 0x00, 0x00, 0xFF) // 0xff00001f: no such opcode
+	var lines []string
+	for _, line := range strings.Split(strings.TrimSuffix(isa.Disassemble(0, blob), "\n"), "\n") {
+		_, ins, _ := strings.Cut(line, ":\t")
+		lines = append(lines, ins)
+	}
+	re := assemble(t, lines)
+	if !bytes.Equal(re, blob) {
+		t.Fatalf(".word did not round-trip:\n got % x\nwant % x\nlines: %q", re, blob, lines)
+	}
+}

@@ -75,6 +75,12 @@ type Options struct {
 	// their isolation to be configured at boot time", §7).
 	Static     []StaticTask
 	StaticOnly bool
+	// StrictVerify arms the static pre-load verification gate at boot:
+	// the loader refuses images the verifier proves broken, before any
+	// memory is allocated or measured. Requires the TyTAN configuration
+	// (it is a trusted-layer policy); combined with Baseline,
+	// NewPlatform fails with ErrBaselineOnly.
+	StrictVerify bool
 }
 
 // StaticTask describes one boot-time task of the static configuration.
@@ -183,6 +189,12 @@ func NewPlatform(opt Options) (*Platform, error) {
 		}
 		p.C = c
 	}
+	if opt.StrictVerify {
+		// Armed before the static tasks load so they are gated too.
+		if err := p.EnableStrictVerify(); err != nil {
+			return nil, fmt.Errorf("core: strict verify: %w", err)
+		}
+	}
 
 	p.loader = newLoaderService(p, opt.LoaderQuantum)
 	tcb, err := k.NewServiceTask("os-loader", opt.LoaderPriority, p.loader)
@@ -203,6 +215,22 @@ func NewPlatform(opt Options) (*Platform, error) {
 	k.StartTick()
 	return p, nil
 }
+
+// EnableStrictVerify arms the static pre-load verification gate: from
+// now on every load — sync, async, static — is verified before memory
+// is allocated, and images with Error findings fail with an error
+// wrapping loader.ErrVerifyRejected (a verify-denied trace event is
+// emitted when observability is on). TyTAN configuration only.
+func (p *Platform) EnableStrictVerify() error {
+	if p.C == nil {
+		return ErrBaselineOnly
+	}
+	p.C.EnableVerifyGate(p.M.RAMSize())
+	return nil
+}
+
+// StrictVerify reports whether the pre-load verification gate is armed.
+func (p *Platform) StrictVerify() bool { return p.C != nil && p.C.Gate != nil }
 
 // StaticOnly reports whether runtime task management is disabled.
 func (p *Platform) StaticOnly() bool { return p.staticOnly }

@@ -34,6 +34,7 @@ type LoadPhase int
 // Load phases in execution order.
 const (
 	LoadPending  LoadPhase = iota // queued, not started
+	LoadVerify                    // static verification (strict gate only)
 	LoadAlloc                     // allocating memory
 	LoadStream                    // copying, zeroing, relocating
 	LoadInstall                   // stack preparation + TCB
@@ -49,6 +50,8 @@ func (ph LoadPhase) String() string {
 	switch ph {
 	case LoadPending:
 		return "pending"
+	case LoadVerify:
+		return "verify"
 	case LoadAlloc:
 		return "alloc"
 	case LoadStream:
@@ -73,6 +76,7 @@ func (ph LoadPhase) String() string {
 // LoadBreakdown is the per-phase cycle accounting of one load — the
 // columns of Table 4.
 type LoadBreakdown struct {
+	Verify   uint64 // static verification (zero unless the strict gate is armed)
 	Alloc    uint64
 	Copy     uint64 // streaming + BSS zeroing
 	Reloc    uint64 // relocation fixups (Table 4 "Relocation")
@@ -84,7 +88,7 @@ type LoadBreakdown struct {
 
 // Total sums the phases — Table 4 "Overall".
 func (b LoadBreakdown) Total() uint64 {
-	return b.Alloc + b.Copy + b.Reloc + b.Install + b.Protect + b.Measure + b.Schedule
+	return b.Verify + b.Alloc + b.Copy + b.Reloc + b.Install + b.Protect + b.Measure + b.Schedule
 }
 
 // LoadRequest tracks one (possibly in-flight) load.
@@ -218,7 +222,7 @@ func (s *loaderService) setPhase(req *LoadRequest, ph LoadPhase) {
 // reverted, the touched extent scrubbed — so the region goes back to the
 // allocator with no remnants of the dead task's code.
 func (s *loaderService) fail(req *LoadRequest, err error) uint64 {
-	req.err = fmt.Errorf("%w: %v", ErrLoadFailed, err)
+	req.err = fmt.Errorf("%w: %w", ErrLoadFailed, err)
 	failedIn := req.phase
 	req.phase = LoadFailed
 	if o := s.p.obs; o != nil {
@@ -257,8 +261,39 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 	switch req.phase {
 	case LoadPending:
 		req.StartCycle = p.M.Cycles()
-		s.setPhase(req, LoadAlloc)
+		if p.C != nil && p.C.Gate != nil {
+			s.setPhase(req, LoadVerify)
+		} else {
+			s.setPhase(req, LoadAlloc)
+		}
 		return 0
+
+	case LoadVerify:
+		// The strict gate: refuse to allocate, measure or install an
+		// image the static verifier proves broken. The verification
+		// cost is charged whether the image passes or not.
+		gate := p.C.Gate
+		cost := gate.Cost(req.im)
+		req.Breakdown.Verify += cost
+		rep, err := gate.Check(req.im)
+		if err != nil {
+			if o := p.obs; o != nil {
+				info, warn, errs := rep.Counts()
+				o.Emit(trace.Event{
+					Cycle: p.M.Cycles(), Sub: trace.SubLoader,
+					Kind: trace.KindVerifyDenied, Subject: req.im.Name,
+					Attrs: []trace.Attr{
+						trace.Num("errors", uint64(errs)),
+						trace.Num("warnings", uint64(warn)),
+						trace.Num("notes", uint64(info)),
+						trace.Str("first", rep.Errors()[0].Code),
+					},
+				})
+			}
+			return cost + s.fail(req, err)
+		}
+		s.setPhase(req, LoadAlloc)
+		return cost
 
 	case LoadAlloc:
 		base, scanned, err := p.K.Alloc.Alloc(loader.PlacedSize(req.im))
@@ -345,6 +380,7 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 				Kind: trace.KindLoadPhase, Subject: req.im.Name,
 				Attrs: []trace.Attr{
 					trace.Str("phase", "done"),
+					trace.Num("verify", b.Verify),
 					trace.Num("alloc", b.Alloc),
 					trace.Num("copy", b.Copy),
 					trace.Num("reloc", b.Reloc),

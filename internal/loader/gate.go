@@ -1,0 +1,44 @@
+package loader
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sverify"
+	"repro/internal/telf"
+)
+
+// ErrVerifyRejected wraps every refusal of the static verification
+// gate; callers test it with errors.Is.
+var ErrVerifyRejected = errors.New("loader: image rejected by static verification")
+
+// Gate is the opt-in pre-load verification gate: when armed (see
+// trusted.Components.EnableVerifyGate and core.Options.StrictVerify),
+// the loader service runs the static verifier over every image before
+// allocating memory for it, and refuses to measure-and-install images
+// with Error findings. Verification-before-measurement matters: a task
+// that would be killed on its first instruction should never enter the
+// RTM identity registry in the first place.
+type Gate struct {
+	// Cfg parameterizes verification (RAM size, syscall allowlist).
+	Cfg sverify.Config
+}
+
+// Check verifies the image. On Error findings it returns the report
+// alongside an error wrapping ErrVerifyRejected; the report is always
+// non-nil so callers can surface the findings.
+func (g *Gate) Check(im *telf.Image) (*sverify.Report, error) {
+	rep := sverify.Verify(im, g.Cfg)
+	if errs := rep.Errors(); len(errs) > 0 {
+		return rep, fmt.Errorf("%w: %s: %d error finding(s), first: %s",
+			ErrVerifyRejected, im.Name, len(errs), errs[0])
+	}
+	return rep, nil
+}
+
+// Cost is the modeled cycle cost of verifying the image: a software
+// pass over the text section, linear in its word count.
+func (g *Gate) Cost(im *telf.Image) uint64 {
+	return machine.CostVerifyBase + uint64(len(im.Text)/4)*machine.CostVerifyPerWord
+}

@@ -170,6 +170,16 @@ const (
 
 	// CostZeroWord: zeroing one word of BSS.
 	CostZeroWord = 2
+
+	// CostVerifyBase/CostVerifyPerWord: the opt-in static pre-load
+	// verifier (linear decode sweep, CFG traversal, abstract
+	// interpretation) runs in software on the platform before
+	// measurement. Not a paper table — the gate is an extension; the
+	// costs are sized like the relocation machinery it sits next to
+	// (setup comparable to a registry probe, a few decode/check loop
+	// iterations per 32-bit word of text).
+	CostVerifyBase    = 540
+	CostVerifyPerWord = 24
 )
 
 // Scheduler / kernel primitives. These keep the kernel's primitives

@@ -46,6 +46,8 @@ func wrapTimeout(err error) error {
 // conn (cleared afterwards), mapping timeouts to ErrTimeout.
 func withDeadline(conn net.Conn, d time.Duration, f func() error) error {
 	if d > 0 {
+		// Real socket deadlines live in wall-clock time, not simulated
+		// cycles. //tytan:allow hosttime
 		conn.SetDeadline(time.Now().Add(d))
 		defer conn.SetDeadline(time.Time{})
 	}

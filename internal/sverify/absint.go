@@ -1,0 +1,421 @@
+package sverify
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// This file is the lightweight abstract interpreter: it propagates
+// LDI/LUI/LDI32-derived register values (and SP-relative offsets)
+// through the CFG and flags memory accesses that provably fall outside
+// the image's declared extent — accesses the EA-MPU would deny, bus
+// errors, byte accesses to MMIO — plus the syscall-allowlist and
+// stack-discipline checks.
+//
+// The value lattice is deliberately shallow: a register is Top
+// (unknown), a constant (tagged with whether it came from a relocated
+// LDI32 immediate, i.e. is an image-relative address the loader
+// rebases), or an SP-relative offset. Joins of unequal values go
+// straight to Top, which keeps the fixpoint fast and the verdicts
+// one-sided: a finding means *provably* bad, silence means nothing.
+
+type avk uint8
+
+const (
+	avTop   avk = iota // unknown
+	avConst            // known 32-bit value (reloc: image-relative)
+	avStack            // SP-relative: v = signed delta from the initial SP
+)
+
+// aval is one abstract register value.
+type aval struct {
+	k     avk
+	v     uint32
+	reloc bool
+}
+
+func top() aval              { return aval{} }
+func con(v uint32) aval      { return aval{k: avConst, v: v} }
+func conReloc(v uint32) aval { return aval{k: avConst, v: v, reloc: true} }
+func stk(delta int32) aval   { return aval{k: avStack, v: uint32(delta)} }
+func (a aval) delta() int32  { return int32(a.v) }
+func joinVal(a, b aval) aval {
+	if a == b {
+		return a
+	}
+	return top()
+}
+
+// astate is the abstract machine state at one program point: the eight
+// registers plus the call-depth interval [dlo, dhi] (CALLs minus RETs
+// since entry).
+type astate struct {
+	regs     [isa.NumRegs]aval
+	dlo, dhi int32
+}
+
+func joinState(a, b astate) astate {
+	var out astate
+	for i := range a.regs {
+		out.regs[i] = joinVal(a.regs[i], b.regs[i])
+	}
+	out.dlo = min32(a.dlo, b.dlo)
+	out.dhi = max32(a.dhi, b.dhi)
+	return out
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// interpret runs the dataflow to fixpoint over the reachable
+// instructions, then makes one final pass emitting the access, syscall
+// and stack-discipline findings from the converged states. Findings
+// are only emitted after convergence so a diagnostic never rests on an
+// intermediate (over-precise) state.
+func (v *verifier) interpret() {
+	if len(v.reach) == 0 {
+		return
+	}
+	// Entry state: nothing is known about the registers (a secure task
+	// may be re-entered with a restored context), except that SP starts
+	// at the initial stack top.
+	var entry astate
+	entry.regs[isa.SP] = stk(0)
+
+	// maxFrames bounds the call-depth interval: one return address per
+	// frame is the floor, so more frames than stack words is already
+	// overflow. The clamp also guarantees termination under recursion.
+	maxFrames := int32(v.im.StackSize/4) + 1
+
+	states := map[uint32]astate{v.im.Entry: entry}
+	work := []uint32{v.im.Entry}
+	propagate := func(to uint32, st astate) {
+		if _, ok := v.reach[to]; !ok {
+			return
+		}
+		cur, seen := states[to]
+		if seen {
+			joined := joinState(cur, st)
+			if joined == cur {
+				return
+			}
+			states[to] = joined
+		} else {
+			states[to] = st
+		}
+		work = append(work, to)
+	}
+	for len(work) > 0 {
+		off := work[0]
+		work = work[1:]
+		d := v.reach[off]
+		if !d.ok {
+			continue
+		}
+		st := states[off]
+		out := v.transfer(d.in, off, st)
+		v.flow(off, d, st, out, propagate, maxFrames)
+	}
+
+	// Final pass: emit findings from the converged states.
+	for _, off := range v.order {
+		d := v.reach[off]
+		if !d.ok {
+			continue
+		}
+		if st, ok := states[off]; ok {
+			v.checkInsn(d.in, off, st, maxFrames)
+		}
+	}
+}
+
+// flow propagates the post-state of the instruction at off along its
+// CFG edges. CALL edges adjust SP and the depth interval on the way
+// into the callee; the fallthrough (return point) assumes a balanced,
+// register-clobbering callee — SP and depth preserved, registers Top.
+func (v *verifier) flow(off uint32, d decoded, pre, post astate, propagate func(uint32, astate), maxFrames int32) {
+	in := d.in
+	next := off + d.size
+	target := func() (uint32, bool) {
+		t := int64(off) + int64(d.size) + 4*int64(in.Imm)
+		if t < 0 || t >= int64(v.textLen) {
+			return 0, false
+		}
+		return uint32(t), true
+	}
+	returnPoint := func() astate {
+		var out astate
+		out.regs[isa.SP] = post.regs[isa.SP]
+		out.dlo, out.dhi = post.dlo, post.dhi
+		return out
+	}
+	switch in.Op {
+	case isa.OpHLT, isa.OpRET, isa.OpJR:
+		return
+	case isa.OpJMP:
+		if t, ok := target(); ok {
+			propagate(t, post)
+		}
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		propagate(next, post)
+		if t, ok := target(); ok {
+			propagate(t, post)
+		}
+	case isa.OpCALL:
+		callee := post
+		callee.regs[isa.SP] = spAdd(post.regs[isa.SP], -4)
+		callee.dlo = min32(callee.dlo+1, maxFrames)
+		callee.dhi = min32(callee.dhi+1, maxFrames)
+		if t, ok := target(); ok {
+			propagate(t, callee)
+		}
+		propagate(next, returnPoint())
+	case isa.OpCALLR:
+		propagate(next, returnPoint())
+	default:
+		propagate(next, post)
+	}
+}
+
+// spAdd offsets a stack-relative value; anything else degrades to Top.
+func spAdd(a aval, delta int32) aval {
+	switch a.k {
+	case avStack:
+		return stk(a.delta() + delta)
+	case avConst:
+		return con(a.v + uint32(delta))
+	}
+	return top()
+}
+
+// transfer computes the post-state of one instruction. It never emits
+// findings (checkInsn does, from converged states).
+func (v *verifier) transfer(in isa.Instruction, off uint32, st astate) astate {
+	out := st
+	set := func(r isa.Reg, a aval) { out.regs[r] = a }
+	switch in.Op {
+	case isa.OpMOV:
+		set(in.Rd, st.regs[in.Rs])
+	case isa.OpLDI:
+		set(in.Rd, con(uint32(int32(in.Imm))))
+	case isa.OpLUI:
+		set(in.Rd, con(uint32(uint16(in.Imm))<<16))
+	case isa.OpLDI32:
+		if v.relocatedImm(off) {
+			set(in.Rd, conReloc(in.Imm32))
+		} else {
+			set(in.Rd, con(in.Imm32))
+		}
+	case isa.OpLD, isa.OpLDB:
+		set(in.Rd, top())
+	case isa.OpADD:
+		set(in.Rd, aAdd(st.regs[in.Rd], st.regs[in.Rs]))
+	case isa.OpSUB:
+		if in.Rd == in.Rs {
+			set(in.Rd, con(0)) // clr idiom
+		} else {
+			set(in.Rd, aSub(st.regs[in.Rd], st.regs[in.Rs]))
+		}
+	case isa.OpADDI:
+		set(in.Rd, aAdd(st.regs[in.Rd], con(uint32(int32(in.Imm)))))
+	case isa.OpXOR:
+		if in.Rd == in.Rs {
+			set(in.Rd, con(0)) // clr idiom
+		} else {
+			set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a ^ b }))
+		}
+	case isa.OpAND:
+		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a & b }))
+	case isa.OpOR:
+		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a | b }))
+	case isa.OpSHL:
+		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a << (b & 31) }))
+	case isa.OpSHR:
+		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a >> (b & 31) }))
+	case isa.OpMUL:
+		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a * b }))
+	case isa.OpPUSH:
+		set(isa.SP, spAdd(st.regs[isa.SP], -4))
+	case isa.OpPOP:
+		set(in.Rd, top())
+		set(isa.SP, spAdd(out.regs[isa.SP], 4))
+	case isa.OpRET:
+		set(isa.SP, spAdd(st.regs[isa.SP], 4))
+		out.dlo = max32(out.dlo-1, 0)
+		out.dhi = max32(out.dhi-1, 0)
+	case isa.OpSVC:
+		// Service results land in r0/r1 (gettime, IPC lengths).
+		set(isa.R0, top())
+		set(isa.R1, top())
+	case isa.OpRDCYC:
+		set(in.Rd, top())
+	}
+	return out
+}
+
+// aAdd adds two abstract values. Adding a plain constant to a relocated
+// address keeps the relocation provenance (pointer arithmetic within
+// the image); adding two pointers is meaningless and degrades to Top.
+func aAdd(a, b aval) aval {
+	switch {
+	case a.k == avStack && b.k == avConst && !b.reloc:
+		return stk(a.delta() + int32(b.v))
+	case b.k == avStack && a.k == avConst && !a.reloc:
+		return stk(b.delta() + int32(a.v))
+	case a.k == avConst && b.k == avConst:
+		if a.reloc && b.reloc {
+			return top()
+		}
+		return aval{k: avConst, v: a.v + b.v, reloc: a.reloc || b.reloc}
+	}
+	return top()
+}
+
+// aSub subtracts abstract values: pointer−constant stays a pointer,
+// pointer−pointer is a plain distance, constant−pointer is opaque.
+func aSub(a, b aval) aval {
+	if a.k == avStack && b.k == avConst && !b.reloc {
+		return stk(a.delta() - int32(b.v))
+	}
+	if a.k != avConst || b.k != avConst {
+		return top()
+	}
+	switch {
+	case a.reloc && b.reloc:
+		return con(a.v - b.v)
+	case !a.reloc && b.reloc:
+		return top()
+	default:
+		return aval{k: avConst, v: a.v - b.v, reloc: a.reloc}
+	}
+}
+
+// aBits applies a bitwise/multiplicative op: only meaningful on two
+// plain constants (masking a pointer yields an unpredictable address).
+func aBits(a, b aval, f func(a, b uint32) uint32) aval {
+	if a.k == avConst && !a.reloc && b.k == avConst && !b.reloc {
+		return con(f(a.v, b.v))
+	}
+	return top()
+}
+
+// checkInsn emits the access, syscall and stack-discipline findings for
+// one instruction from its converged pre-state.
+func (v *verifier) checkInsn(in isa.Instruction, off uint32, st astate, maxFrames int32) {
+	switch in.Op {
+	case isa.OpLD:
+		v.checkAccess(off, in, st.regs[in.Rs], in.Imm, 4, false)
+	case isa.OpLDB:
+		v.checkAccess(off, in, st.regs[in.Rs], in.Imm, 1, false)
+	case isa.OpST:
+		v.checkAccess(off, in, st.regs[in.Rd], in.Imm, 4, true)
+	case isa.OpSTB:
+		v.checkAccess(off, in, st.regs[in.Rd], in.Imm, 1, true)
+	case isa.OpPUSH:
+		v.checkAccess(off, in, spAdd(st.regs[isa.SP], -4), 0, 4, true)
+	case isa.OpPOP:
+		v.checkAccess(off, in, st.regs[isa.SP], 0, 4, false)
+	case isa.OpCALL:
+		v.checkAccess(off, in, spAdd(st.regs[isa.SP], -4), 0, 4, true)
+		if st.dhi+1 > maxFrames {
+			v.add(off, Warning, "call-depth",
+				fmt.Sprintf("call depth may exceed the %d-byte stack reservation (recursion?)", v.im.StackSize), in.String())
+		}
+	case isa.OpRET:
+		if st.dlo == 0 {
+			v.add(off, Warning, "ret-no-call",
+				"RET may execute with no matching CALL (pops past the initial stack pointer)", in.String())
+		}
+	case isa.OpSVC:
+		if n := uint16(in.Imm); !v.cfg.Syscalls[n] {
+			v.addGuaranteed(off, Error, "syscall-unknown",
+				fmt.Sprintf("service call %d is not in the platform allowlist (the kernel kills the task)", n), in.String())
+		}
+	}
+}
+
+// checkAccess validates one memory access given the abstract base
+// value. sz is the access width in bytes; store distinguishes writes.
+func (v *verifier) checkAccess(off uint32, in isa.Instruction, base aval, imm int16, sz uint32, store bool) {
+	dis := in.String()
+	switch base.k {
+	case avTop:
+		return
+
+	case avStack:
+		// Image offset of the access, relative to base 0: the initial
+		// SP sits at loadSize.
+		soff := int64(v.stackTop) + int64(base.delta()) + int64(imm)
+		if soff < int64(v.stackLow) {
+			v.add(off, Warning, "stack-oob",
+				fmt.Sprintf("SP-relative access %d bytes below the %d-byte stack reservation", int64(v.stackLow)-soff, v.im.StackSize), dis)
+		} else if soff+int64(sz) > int64(v.extent) {
+			v.add(off, Warning, "stack-oob",
+				"SP-relative access beyond the task's memory region", dis)
+		}
+
+	case avConst:
+		if base.reloc {
+			// Image-relative address: the loader adds the (granule-
+			// aligned) base, so alignment and extent are decidable.
+			eff := int64(base.v) + int64(imm)
+			if sz == 4 && eff%4 != 0 {
+				v.addGuaranteed(off, Error, "misaligned-access",
+					fmt.Sprintf("32-bit access at image offset %#x is not word-aligned (bus error)", eff), dis)
+			}
+			if eff < 0 || eff+int64(sz) > int64(v.extent) {
+				msg := fmt.Sprintf("access at image offset %#x is outside the task's %d-byte region (EA-MPU has no rule for it)", eff, v.extent)
+				if eff >= int64(v.cfg.RAMSize) {
+					// Beyond the end of RAM wherever the image lands.
+					v.addGuaranteed(off, Error, "oob-access", msg+"; beyond the end of RAM at any load address", dis)
+				} else {
+					v.add(off, Error, "oob-access", msg, dis)
+				}
+			} else if store && eff+int64(sz) <= int64(v.textLen) {
+				v.add(off, Warning, "store-to-text",
+					"store into the code section (self-modifying code defeats measurement)", dis)
+			}
+			return
+		}
+		// Absolute address (a non-relocated constant: MMIO registers,
+		// or a position-dependent RAM address — suspicious in a
+		// relocatable image).
+		addr := uint32(int64(base.v) + int64(imm))
+		switch {
+		case addr >= machine.MMIOBase:
+			if sz == 1 {
+				v.addGuaranteed(off, Error, "mmio-byte-access",
+					fmt.Sprintf("byte access to MMIO register %#x (bus error: MMIO is word-addressed)", addr), dis)
+			} else if addr%4 != 0 {
+				v.addGuaranteed(off, Error, "misaligned-access",
+					fmt.Sprintf("misaligned 32-bit access to MMIO register %#x (bus error)", addr), dis)
+			}
+		case addr < machine.RAMBase:
+			v.addGuaranteed(off, Error, "null-access",
+				fmt.Sprintf("access to unmapped low memory %#x (bus error)", addr), dis)
+		case int64(addr)+int64(sz) > int64(machine.RAMBase)+int64(v.cfg.RAMSize):
+			v.addGuaranteed(off, Error, "oob-access",
+				fmt.Sprintf("absolute address %#x is beyond the end of RAM (bus error)", addr), dis)
+		default:
+			if sz == 4 && addr%4 != 0 {
+				v.addGuaranteed(off, Error, "misaligned-access",
+					fmt.Sprintf("misaligned 32-bit access to %#x (bus error)", addr), dis)
+			}
+			v.add(off, Warning, "abs-ram-address",
+				fmt.Sprintf("absolute RAM address %#x in a relocatable image (valid only at one load address)", addr), dis)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package sverify
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/telf"
+)
+
+// Seeded image generator for the differential soundness tests and the
+// fuzz seed corpus: GenClean produces images the verifier must pass and
+// the simulator must run without faults; the fault classes produce
+// images with at least one Definite error that must actually trap.
+// Everything derives from the seed through splitmix64, so the corpus is
+// reproducible byte for byte.
+
+// GenClass selects what kind of image GenImage builds.
+type GenClass int
+
+// Generator classes.
+const (
+	// GenClean: ALU work, relocated loads/stores inside the extent,
+	// balanced push/pop, allowed service calls, a bounded forward
+	// branch, then a delay loop or HLT. Verifies clean; runs clean.
+	GenClean GenClass = iota
+	// GenInvalidOpcode places an undecodable word on the entry path.
+	GenInvalidOpcode
+	// GenBadSyscall places a service call outside the allowlist on the
+	// entry path (the kernel kills the task).
+	GenBadSyscall
+	// GenWildStore stores through a relocated pointer beyond the end of
+	// RAM (bus error at any load address).
+	GenWildStore
+	// GenMisaligned loads a 32-bit word through a relocated pointer at
+	// a non-word-aligned image offset (bus error).
+	GenMisaligned
+	// GenBranchMidInsn jumps into the immediate word of an LDI32 whose
+	// payload is not a valid instruction (illegal-instruction fault).
+	GenBranchMidInsn
+
+	// NumGenClasses counts the classes (for corpus loops).
+	NumGenClasses
+)
+
+// String names the class.
+func (c GenClass) String() string {
+	switch c {
+	case GenClean:
+		return "clean"
+	case GenInvalidOpcode:
+		return "invalid-opcode"
+	case GenBadSyscall:
+		return "bad-syscall"
+	case GenWildStore:
+		return "wild-store"
+	case GenMisaligned:
+		return "misaligned"
+	case GenBranchMidInsn:
+		return "branch-mid-insn"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// genRand is a splitmix64 stream (matching internal/faultinject's
+// choice of PRNG; reimplemented because that package is a consumer of
+// the loader, not a dependency of it).
+type genRand uint64
+
+func (g *genRand) next() uint64 {
+	*g += 0x9e3779b97f4a7c15
+	z := uint64(*g)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *genRand) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// genPatch defers an LDI32 immediate whose value depends on the final
+// text length (data- and bss-relative addresses).
+type genPatch struct {
+	off uint32                      // offset of the immediate word
+	f   func(textLen uint32) uint32 // final value
+}
+
+type genBuilder struct {
+	text    []byte
+	relocs  []telf.Reloc
+	patches []genPatch
+}
+
+func (b *genBuilder) off() uint32 { return uint32(len(b.text)) }
+
+func (b *genBuilder) emit(in isa.Instruction) {
+	b.text = isa.Encode(b.text, in)
+}
+
+// emitPtr emits a relocated LDI32 whose immediate is computed from the
+// final text length once known.
+func (b *genBuilder) emitPtr(rd isa.Reg, f func(textLen uint32) uint32) {
+	imm := b.off() + 4
+	b.emit(isa.Instruction{Op: isa.OpLDI32, Rd: rd})
+	b.relocs = append(b.relocs, telf.Reloc{Offset: imm, Kind: telf.RelImm32})
+	b.patches = append(b.patches, genPatch{off: imm, f: f})
+}
+
+// raw appends one raw word (for deliberately undecodable payloads).
+func (b *genBuilder) raw(w uint32) {
+	b.text = binary.LittleEndian.AppendUint32(b.text, w)
+}
+
+// jmpTo emits an unconditional jump to an already-emitted offset.
+func (b *genBuilder) jmpTo(target uint32) {
+	delta := (int64(target) - int64(b.off()+4)) / 4
+	b.emit(isa.Instruction{Op: isa.OpJMP, Imm: int16(delta)})
+}
+
+const (
+	genDataSize  = 16
+	genBSSSize   = 64
+	genStackSize = 256
+)
+
+// GenImage builds the seeded image of the given class. The result
+// passes telf.Validate for every class — the fault classes are
+// structurally well-formed images whose *code* is broken, exactly the
+// kind the pre-load gate exists to refuse.
+func GenImage(class GenClass, seed uint64) *telf.Image {
+	r := genRand(seed ^ uint64(class)<<56)
+	b := &genBuilder{}
+
+	// Warm-up ALU prefix (seeded length, keeps every image distinct).
+	for i, n := 0, 1+r.intn(4); i < n; i++ {
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16(r.intn(1000))})
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R1, Imm: int16(1 + r.intn(16))})
+	}
+	b.emit(isa.Instruction{Op: isa.OpXOR, Rd: isa.R3, Rs: isa.R3}) // clr r3
+
+	switch class {
+	case GenClean:
+		// Relocated load/store inside the data section, a store into
+		// BSS, balanced stack use, a forward branch, a putchar.
+		word := uint32(4 * r.intn(genDataSize/4))
+		b.emitPtr(isa.R4, func(t uint32) uint32 { return t + word })
+		b.emit(isa.Instruction{Op: isa.OpLD, Rd: isa.R0, Rs: isa.R4})
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R0, Imm: 1})
+		b.emit(isa.Instruction{Op: isa.OpST, Rd: isa.R4, Rs: isa.R0})
+		bssWord := uint32(4 * r.intn(genBSSSize/4))
+		b.emitPtr(isa.R5, func(t uint32) uint32 { return t + genDataSize + bssWord })
+		b.emit(isa.Instruction{Op: isa.OpST, Rd: isa.R5, Rs: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpPOP, Rd: isa.R2})
+		b.emit(isa.Instruction{Op: isa.OpCMPI, Rd: isa.R0, Imm: int16(r.intn(7))})
+		b.emit(isa.Instruction{Op: isa.OpBEQ, Imm: 1}) // skip one insn
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R3, Imm: 1})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('A' + r.intn(26))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		if r.intn(2) == 0 {
+			b.emit(isa.Instruction{Op: isa.OpHLT})
+		} else {
+			loop := b.off()
+			b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: int16(16000 + r.intn(16000))})
+			b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 2}) // delay
+			b.jmpTo(loop)
+		}
+
+	case GenInvalidOpcode:
+		b.raw(0xFF000000 | uint32(r.next()&0xFFFF)) // op 0xFF: undecodable
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenBadSyscall:
+		bad := []int16{3, 4, 7, 9, 11, 15}
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: bad[r.intn(len(bad))]})
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenWildStore:
+		b.emitPtr(isa.R4, func(t uint32) uint32 {
+			return machine.DefaultRAMSize + t + uint32(r.intn(256))*4
+		})
+		b.emit(isa.Instruction{Op: isa.OpST, Rd: isa.R4, Rs: isa.R0})
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenMisaligned:
+		b.emitPtr(isa.R4, func(t uint32) uint32 { return t + 2 }) // data+2: never word-aligned
+		b.emit(isa.Instruction{Op: isa.OpLD, Rd: isa.R0, Rs: isa.R4})
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenBranchMidInsn:
+		b.emit(isa.Instruction{Op: isa.OpJMP, Imm: 1}) // into the LDI32 immediate
+		b.emit(isa.Instruction{Op: isa.OpLDI32, Rd: isa.R1, Imm32: 0xFFFFFFFF})
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+	}
+
+	textLen := b.off()
+	for _, p := range b.patches {
+		binary.LittleEndian.PutUint32(b.text[p.off:], p.f(textLen))
+	}
+	data := make([]byte, genDataSize)
+	for i := range data {
+		data[i] = byte(r.next())
+	}
+	return &telf.Image{
+		Name:      fmt.Sprintf("gen-%s-%d", class, seed),
+		Entry:     0,
+		Text:      b.text,
+		Data:      data,
+		BSSSize:   genBSSSize,
+		StackSize: genStackSize,
+		Relocs:    b.relocs,
+	}
+}

@@ -1,0 +1,45 @@
+package sverify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report for humans: a header line, one line per
+// finding, and a severity summary. Output depends only on the report —
+// two runs over the same image are byte-identical.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %d bytes text, %d bytes data, %d reachable instruction(s) in %d block(s)\n",
+		r.Name, r.TextSize, r.DataSize, r.Insns, r.Blocks); err != nil {
+		return err
+	}
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "  %s\n", f); err != nil {
+			return err
+		}
+	}
+	info, warn, errs := r.Counts()
+	verdict := "clean"
+	if errs > 0 {
+		verdict = "REJECTED"
+	} else if warn > 0 {
+		verdict = "warnings"
+	}
+	_, err := fmt.Fprintf(w, "  %s: %d error(s), %d warning(s), %d note(s)\n", verdict, errs, warn, info)
+	return err
+}
+
+// WriteJSON renders the report as indented JSON, one object, trailing
+// newline. The encoding contains no maps, timestamps or host state, so
+// two runs over the same image are byte-identical — the determinism
+// contract cmd/tytan-lint's tests pin.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

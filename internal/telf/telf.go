@@ -105,6 +105,23 @@ var (
 	ErrCorrupt    = errors.New("telf: corrupt image")
 )
 
+// Specific corruption classes. Each wraps ErrCorrupt, so existing
+// errors.Is(err, ErrCorrupt) checks keep matching while callers that
+// care (the loader's denial events, the linter) can name the exact
+// structural defect.
+var (
+	ErrTruncated     = fmt.Errorf("%w: truncated", ErrCorrupt)
+	ErrSizeMismatch  = fmt.Errorf("%w: section sizes disagree with image size", ErrCorrupt)
+	ErrEntryRange    = fmt.Errorf("%w: entry point outside text", ErrCorrupt)
+	ErrEntryAlign    = fmt.Errorf("%w: entry point not word-aligned", ErrCorrupt)
+	ErrNameLong      = fmt.Errorf("%w: name too long", ErrCorrupt)
+	ErrRelocKind     = fmt.Errorf("%w: unknown relocation kind", ErrCorrupt)
+	ErrRelocAlign    = fmt.Errorf("%w: relocation offset not word-aligned", ErrCorrupt)
+	ErrRelocRange    = fmt.Errorf("%w: relocation outside sections", ErrCorrupt)
+	ErrRelocStraddle = fmt.Errorf("%w: relocation straddles the text/data boundary", ErrCorrupt)
+	ErrRelocOrder    = fmt.Errorf("%w: relocation offsets not strictly increasing", ErrCorrupt)
+)
+
 // LoadSize returns the number of bytes of memory the image occupies once
 // loaded: text + data + bss + stack.
 func (im *Image) LoadSize() uint32 {
@@ -121,34 +138,39 @@ func (im *Image) MeasuredSize() uint32 {
 }
 
 // Validate checks structural invariants: entry inside text, relocation
-// offsets word-aligned and inside text+data, known relocation kinds, and
-// strictly increasing relocation offsets.
+// offsets word-aligned, inside text+data and not straddling the
+// text/data boundary, known relocation kinds, and strictly increasing
+// relocation offsets.
 func (im *Image) Validate() error {
 	if im.Entry >= uint32(len(im.Text)) && !(im.Entry == 0 && len(im.Text) == 0) {
-		return fmt.Errorf("%w: entry %#x outside text (%d bytes)", ErrCorrupt, im.Entry, len(im.Text))
+		return fmt.Errorf("%w: entry %#x, text is %d bytes", ErrEntryRange, im.Entry, len(im.Text))
 	}
 	if im.Entry%4 != 0 {
-		return fmt.Errorf("%w: entry %#x not word-aligned", ErrCorrupt, im.Entry)
+		return fmt.Errorf("%w: entry %#x", ErrEntryAlign, im.Entry)
 	}
-	limit := uint32(len(im.Text)) + uint32(len(im.Data))
+	textEnd := uint32(len(im.Text))
+	limit := textEnd + uint32(len(im.Data))
 	var prev int64 = -1
 	for i, r := range im.Relocs {
 		if !r.Kind.Valid() {
-			return fmt.Errorf("%w: reloc %d has unknown kind %d", ErrCorrupt, i, uint8(r.Kind))
+			return fmt.Errorf("%w: reloc %d has kind %d", ErrRelocKind, i, uint8(r.Kind))
 		}
 		if r.Offset%4 != 0 {
-			return fmt.Errorf("%w: reloc %d offset %#x not word-aligned", ErrCorrupt, i, r.Offset)
+			return fmt.Errorf("%w: reloc %d at %#x", ErrRelocAlign, i, r.Offset)
 		}
 		if r.Offset+4 > limit {
-			return fmt.Errorf("%w: reloc %d offset %#x outside sections (%d bytes)", ErrCorrupt, i, r.Offset, limit)
+			return fmt.Errorf("%w: reloc %d at %#x, sections end at %#x", ErrRelocRange, i, r.Offset, limit)
+		}
+		if r.Offset < textEnd && r.Offset+4 > textEnd {
+			return fmt.Errorf("%w: reloc %d at %#x, text ends at %#x", ErrRelocStraddle, i, r.Offset, textEnd)
 		}
 		if int64(r.Offset) <= prev {
-			return fmt.Errorf("%w: reloc offsets not strictly increasing at %d", ErrCorrupt, i)
+			return fmt.Errorf("%w: reloc %d at %#x follows %#x", ErrRelocOrder, i, r.Offset, uint32(prev))
 		}
 		prev = int64(r.Offset)
 	}
 	if len(im.Name) > 31 {
-		return fmt.Errorf("%w: name %q too long", ErrCorrupt, im.Name)
+		return fmt.Errorf("%w: %q is %d bytes, max 31", ErrNameLong, im.Name, len(im.Name))
 	}
 	return nil
 }
@@ -207,7 +229,7 @@ func (im *Image) Encode() ([]byte, error) {
 // Decode parses an encoded image and validates it.
 func Decode(b []byte) (*Image, error) {
 	if len(b) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes, need %d header bytes", ErrCorrupt, len(b), headerSize)
+		return nil, fmt.Errorf("%w: %d bytes, need %d header bytes", ErrTruncated, len(b), headerSize)
 	}
 	if binary.LittleEndian.Uint32(b) != Magic {
 		return nil, ErrBadMagic
@@ -231,7 +253,7 @@ func Decode(b []byte) (*Image, error) {
 	relocCount := binary.LittleEndian.Uint32(b[60:])
 	need := uint64(headerSize) + uint64(textSize) + uint64(dataSize) + uint64(relocCount)*relocEntrySize
 	if uint64(len(b)) != need {
-		return nil, fmt.Errorf("%w: %d bytes, header describes %d", ErrCorrupt, len(b), need)
+		return nil, fmt.Errorf("%w: %d bytes, header describes %d", ErrSizeMismatch, len(b), need)
 	}
 	p := uint32(headerSize)
 	im.Text = append([]byte(nil), b[p:p+textSize]...)

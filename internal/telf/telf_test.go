@@ -215,3 +215,58 @@ func TestDecodeMutated(t *testing.T) {
 		}
 	}
 }
+
+// TestTypedValidateErrors pins the specific sentinel each structural
+// defect maps to, and that every one still matches ErrCorrupt (callers
+// that only care about "corrupt" keep working).
+func TestTypedValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Image)
+		want   error
+	}{
+		{"entry outside text", func(im *Image) { im.Entry = uint32(len(im.Text)) }, ErrEntryRange},
+		{"entry unaligned", func(im *Image) { im.Entry = 2 }, ErrEntryAlign},
+		{"reloc unaligned", func(im *Image) { im.Relocs[0].Offset = 2 }, ErrRelocAlign},
+		{"reloc outside", func(im *Image) { im.Relocs[1].Offset = 16 }, ErrRelocRange},
+		{"reloc bad kind", func(im *Image) { im.Relocs[0].Kind = 99 }, ErrRelocKind},
+		{"reloc order", func(im *Image) { im.Relocs[1].Offset = 0 }, ErrRelocOrder},
+		{"name too long", func(im *Image) { im.Name = string(make([]byte, 32)) }, ErrNameLong},
+		{"reloc straddles text/data", func(im *Image) {
+			// Unpadded 10-byte text: an aligned reloc word at 8 covers
+			// text[8:10] plus data[0:2].
+			im.Entry = 0
+			im.Text = im.Text[:10]
+			im.Relocs = []Reloc{{Offset: 8, Kind: RelWord}}
+		}, ErrRelocStraddle},
+	}
+	for _, tc := range cases {
+		im := sampleImage()
+		tc.mutate(im)
+		err := im.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v does not wrap ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+// TestTypedDecodeErrors pins the sentinels for byte-level corruption.
+func TestTypedDecodeErrors(t *testing.T) {
+	im := sampleImage()
+	b, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: err = %v, want ErrTruncated", err)
+	}
+	if _, err := Decode(b[:len(b)-1]); !errors.Is(err, ErrSizeMismatch) {
+		t.Errorf("trailing byte cut: err = %v, want ErrSizeMismatch", err)
+	}
+	if _, err := Decode(append(append([]byte(nil), b...), 0)); !errors.Is(err, ErrSizeMismatch) {
+		t.Errorf("padded: err = %v, want ErrSizeMismatch", err)
+	}
+}

@@ -21,8 +21,8 @@ type Profile struct {
 
 // TaskCycles is one task's share of the cycle budget.
 type TaskCycles struct {
-	Name      string
-	Cycles    uint64
+	Name       string
+	Cycles     uint64
 	Dispatches int
 }
 
@@ -35,7 +35,7 @@ type PhaseCycles struct {
 // loadBreakdownKeys are the numeric attrs a completed load carries, in
 // pipeline order. They mirror core.LoadBreakdown.
 var loadBreakdownKeys = []string{
-	"alloc", "copy", "reloc", "install", "protect", "measure", "schedule",
+	"verify", "alloc", "copy", "reloc", "install", "protect", "measure", "schedule",
 }
 
 // BuildProfile builds a cycle-attribution profile from an event stream

@@ -77,23 +77,24 @@ type Kind uint8
 
 // Event kinds, in stable wire order.
 const (
-	KindTaskInstall Kind = iota // a task entered the system
-	KindTaskSwitch              // the scheduler dispatched a task
-	KindTaskExit                // a task left the system (with cause)
-	KindSyscall                 // an SVC trap reached the kernel
-	KindIRQ                     // a non-timer interrupt was serviced
-	KindTick                    // the scheduler tick fired
-	KindMutex                   // a mutex event (priority inheritance)
-	KindLoadPhase               // a dynamic load crossed a phase boundary
-	KindViolation               // the EA-MPU denied an access
-	KindSupervisor              // a supervisor recovery action
-	KindAttest                  // an attestation quote round-trip
-	KindActivation              // a harness-observed task activation
-	KindInject                  // an injected fault
-	KindCustom                  // anything else
-	KindIPC                     // a secure-IPC proxy operation
-	KindDeadlineMiss            // a registered periodic task missed a deadline
-	KindSLOViolation            // an SLO rule was violated (online monitor)
+	KindTaskInstall  Kind = iota // a task entered the system
+	KindTaskSwitch               // the scheduler dispatched a task
+	KindTaskExit                 // a task left the system (with cause)
+	KindSyscall                  // an SVC trap reached the kernel
+	KindIRQ                      // a non-timer interrupt was serviced
+	KindTick                     // the scheduler tick fired
+	KindMutex                    // a mutex event (priority inheritance)
+	KindLoadPhase                // a dynamic load crossed a phase boundary
+	KindViolation                // the EA-MPU denied an access
+	KindSupervisor               // a supervisor recovery action
+	KindAttest                   // an attestation quote round-trip
+	KindActivation               // a harness-observed task activation
+	KindInject                   // an injected fault
+	KindCustom                   // anything else
+	KindIPC                      // a secure-IPC proxy operation
+	KindDeadlineMiss             // a registered periodic task missed a deadline
+	KindSLOViolation             // an SLO rule was violated (online monitor)
+	KindVerifyDenied             // the pre-load static verifier rejected an image
 
 	numKinds
 )
@@ -102,7 +103,7 @@ var kindNames = [numKinds]string{
 	"task-install", "task-switch", "task-exit", "syscall", "irq",
 	"tick", "mutex", "load-phase", "eampu-violation", "supervisor",
 	"attest", "activation", "inject", "custom", "ipc",
-	"deadline-miss", "slo-violation",
+	"deadline-miss", "slo-violation", "verify-denied",
 }
 
 // String names the kind.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/eampu"
 	"repro/internal/isa"
+	"repro/internal/loader"
 	"repro/internal/machine"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
@@ -21,6 +22,10 @@ type Components struct {
 	Proxy   *IPCProxy
 	Attest  *Attest
 	Storage *Storage
+
+	// Gate is the static pre-load verification gate; nil (off) until
+	// EnableVerifyGate arms it.
+	Gate *loader.Gate
 
 	// BootReport is the secure-boot measurement chain over the trusted
 	// components — the static root the dynamic measurements extend.

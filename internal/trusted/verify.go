@@ -1,0 +1,41 @@
+package trusted
+
+import (
+	"repro/internal/loader"
+	"repro/internal/rtos"
+	"repro/internal/sverify"
+)
+
+// AllowedSyscalls returns the authoritative SVC allowlist of the booted
+// platform: the kernel services plus the trusted services this layer
+// registers at SVCUserBase. sverify.DefaultSyscalls mirrors this set
+// with literal numbers (it cannot import this package);
+// TestDefaultSyscallsMatchPlatform pins the two together.
+func AllowedSyscalls() map[uint16]bool {
+	m := map[uint16]bool{
+		rtos.SVCYield:   true,
+		rtos.SVCExit:    true,
+		rtos.SVCDelay:   true,
+		rtos.SVCPutChar: true,
+		rtos.SVCGetTime: true,
+	}
+	for _, n := range []uint16{
+		SVCIPCSend, SVCIPCSendSync, SVCIPCRecv, SVCGetID, SVCAttestLocal,
+		SVCSealStore, SVCSealLoad, SVCGetMailbox, SVCShareMem,
+	} {
+		m[n] = true
+	}
+	return m
+}
+
+// EnableVerifyGate arms the strict pre-load gate: from now on the
+// loader service statically verifies every image before allocating
+// memory for it and refuses — with a typed verify-denied trace event —
+// to measure-and-install images with Error findings. ramSize is the
+// platform's RAM size (for the beyond-RAM access checks).
+func (c *Components) EnableVerifyGate(ramSize uint32) {
+	c.Gate = &loader.Gate{Cfg: sverify.Config{
+		RAMSize:  ramSize,
+		Syscalls: AllowedSyscalls(),
+	}}
+}
