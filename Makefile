@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos trace-check slo-check check bench tables interp-bench latency-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check bench-check check bench tables interp-bench latency-bench clean
 
 all: build
 
@@ -43,10 +43,18 @@ trace-check:
 slo-check:
 	$(GO) test -race -v -run 'TestSLOCheck' ./cmd/tytan-analyze/
 
+# bench-check validates the execution engines end to end: the Table 1
+# use case must produce bit-identical digests on the reference
+# interpreter, the fast path and the superblock compiler, and the
+# committed BENCH_interp.json must attest cycle_exact with the
+# superblock kernel speedup above its floor. Skipped with -short.
+bench-check:
+	$(GO) test -race -v -run 'TestBenchCheck' ./cmd/tytan-bench/
+
 # check is the gate CI and pre-commit should run: build, vet, lint, the
 # full test suite under the race detector, the chaos scenario, and the
-# observability and SLO gates.
-check: build vet lint race chaos trace-check slo-check
+# observability, SLO and engine benchmark gates.
+check: build vet lint race chaos trace-check slo-check bench-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sbSpeedupFloor is the acceptance bar for the superblock engine: the
+// committed BENCH_interp.json must record at least this kernel speedup
+// over the reference interpreter. Regressions that slow the compiled
+// engine below the floor fail `make bench-check` when the benchmark is
+// regenerated.
+const sbSpeedupFloor = 5.0
+
+// TestBenchCheck is the `make bench-check` gate. It re-runs the Table 1
+// use case live on all three engines and demands bit-identical
+// architectural digests, then reads the committed BENCH_interp.json and
+// asserts it was produced cycle-exact with the superblock speedup above
+// the floor. Skipped under -short: the gate exists for `make check`,
+// not for quick iteration loops.
+func TestBenchCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-check skipped in -short mode")
+	}
+
+	// Live: the full use case, one timed iteration per engine, digests
+	// compared against the reference.
+	ref, _, err := timeUseCase(engineModes[0], 1)
+	if err != nil {
+		t.Fatalf("%s: %v", engineModes[0].name, err)
+	}
+	for _, mode := range engineModes[1:] {
+		got, _, err := timeUseCase(mode, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if got != ref {
+			t.Errorf("use case diverged on %s:\n%s:  %+v\nreference: %+v", mode.name, mode.name, got, ref)
+		}
+	}
+
+	// Committed: the benchmark artifact must attest cycle-exactness and
+	// clear the speedup floor.
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_interp.json"))
+	if err != nil {
+		t.Fatalf("reading BENCH_interp.json (regenerate with `make interp-bench`): %v", err)
+	}
+	var rep interpBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parsing BENCH_interp.json: %v", err)
+	}
+	if !rep.CycleExact {
+		t.Errorf("BENCH_interp.json records cycle_exact=false; engines diverged when it was generated")
+	}
+	if rep.SBSpeedup < sbSpeedupFloor {
+		t.Errorf("BENCH_interp.json records sb_speedup=%.2f, below the %.1fx floor", rep.SBSpeedup, sbSpeedupFloor)
+	}
+	if rep.SBCompiles == 0 {
+		t.Errorf("BENCH_interp.json records sb_compiles=0; the superblock engine never engaged")
+	}
+}

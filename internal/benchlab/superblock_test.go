@@ -1,0 +1,97 @@
+package benchlab
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// withEngine runs f with the package-default execution engine forced to
+// the given fast-path/superblock configuration, restoring it after.
+func withEngine(fast, sb bool, f func()) {
+	prevFast, prevSB := machine.FastPathDefault, machine.SuperblocksDefault
+	machine.FastPathDefault, machine.SuperblocksDefault = fast, sb
+	defer func() {
+		machine.FastPathDefault, machine.SuperblocksDefault = prevFast, prevSB
+	}()
+	f()
+}
+
+// TestUseCaseSuperblockEquivalence is the system-level differential
+// check for the superblock engine: the full Table 1 use case — secure
+// boot, three task loads, interrupts, IPC, MPU reconfiguration — must
+// produce bit-identical results with superblock compilation on and
+// with the plain reference interpreter. Companion to
+// TestUseCaseFastPathEquivalence and the per-step lockstep tests in
+// internal/machine.
+func TestUseCaseSuperblockEquivalence(t *testing.T) {
+	for _, atomic := range []bool{false, true} {
+		var sb, ref UseCaseResult
+		var err error
+		withEngine(true, true, func() { sb, err = RunUseCase(atomic) })
+		if err != nil {
+			t.Fatalf("superblock atomic=%v: %v", atomic, err)
+		}
+		withEngine(false, false, func() { ref, err = RunUseCase(atomic) })
+		if err != nil {
+			t.Fatalf("reference atomic=%v: %v", atomic, err)
+		}
+		if sb != ref {
+			t.Errorf("atomic=%v: superblock engine diverged from reference:\nsb:  %+v\nref: %+v", atomic, sb, ref)
+		}
+	}
+}
+
+// TestKernelEngineEquivalence runs the throughput kernel on all three
+// engines and demands identical architectural digests — the same check
+// tytan-bench performs before reporting cycle_exact.
+func TestKernelEngineEquivalence(t *testing.T) {
+	var digests []KernelResult
+	for _, mode := range []struct {
+		name     string
+		fast, sb bool
+	}{{"reference", false, false}, {"fastpath", true, false}, {"superblock", true, true}} {
+		k, err := NewKernelRun(mode.fast, mode.sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := k.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		digests = append(digests, r)
+	}
+	if digests[1] != digests[0] || digests[2] != digests[0] {
+		t.Errorf("engines diverged:\nref:  %+v\nfast: %+v\nsb:   %+v", digests[0], digests[1], digests[2])
+	}
+}
+
+// TestChaosSuperblockEquivalence replays the chaos seed matrix with
+// superblock compilation on and compares the full deterministic
+// transcript against the reference interpreter. Fault injection, task
+// restarts, attestation retries and link disturbances are all keyed to
+// simulated cycles, so any cycle drift in the compiled engine shows up
+// as a transcript diff here.
+func TestChaosSuperblockEquivalence(t *testing.T) {
+	for _, seed := range seedsForMode(t) {
+		seed := seed
+		t.Run(fmt0x(seed), func(t *testing.T) {
+			var sb, ref *ChaosResult
+			var err error
+			withEngine(true, true, func() { sb, err = RunChaos(ChaosConfig{Seed: seed}) })
+			if err != nil {
+				t.Fatalf("superblock: %v", err)
+			}
+			withEngine(false, false, func() { ref, err = RunChaos(ChaosConfig{Seed: seed}) })
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			// Obs is nil on both sides (Observe unset); everything else
+			// is the deterministic transcript.
+			if !reflect.DeepEqual(sb, ref) {
+				t.Errorf("superblock transcript diverged from reference:\nsb:  %+v\nref: %+v", sb, ref)
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package cfg holds the control-flow and abstract-interpretation
+// building blocks shared by the static verifier (internal/sverify) and
+// the superblock compiler (internal/machine). Both walk straight-line
+// runs of decoded instructions and propagate a shallow register value
+// lattice through them; keeping the lattice here lets the runtime
+// compiler reuse the verifier's transfer semantics without the machine
+// package importing the verifier (which itself imports the machine for
+// its memory-map constants).
+//
+// The lattice is deliberately shallow: a register is Top (unknown), a
+// constant (optionally tagged as an image-relative, relocated address),
+// or an SP-relative offset. Joins of unequal values go straight to Top,
+// which keeps fixpoints fast and all derived verdicts one-sided: a
+// proven value means *provably* that value, Top means nothing.
+package cfg
+
+import "repro/internal/isa"
+
+// Kind classifies an abstract value.
+type Kind uint8
+
+// Value kinds.
+const (
+	// Top is the unknown value (the lattice top). The zero Value is Top.
+	Top Kind = iota
+	// Const is a known 32-bit value; Reloc marks it image-relative.
+	Const
+	// Stack is an SP-relative offset: V holds the signed delta from the
+	// initial stack pointer.
+	Stack
+)
+
+// Value is one abstract register value.
+type Value struct {
+	K     Kind
+	V     uint32
+	Reloc bool
+}
+
+// TopValue returns the unknown value.
+func TopValue() Value { return Value{} }
+
+// ConstValue returns a known absolute constant.
+func ConstValue(v uint32) Value { return Value{K: Const, V: v} }
+
+// RelocValue returns a known image-relative constant (the loader adds
+// the placement base).
+func RelocValue(v uint32) Value { return Value{K: Const, V: v, Reloc: true} }
+
+// StackValue returns an SP-relative offset.
+func StackValue(delta int32) Value { return Value{K: Stack, V: uint32(delta)} }
+
+// Delta returns the signed stack delta of a Stack value.
+func (a Value) Delta() int32 { return int32(a.V) }
+
+// IsConst reports whether the value is a known absolute (non-relocated)
+// constant — the form the superblock compiler can hoist checks for.
+func (a Value) IsConst() bool { return a.K == Const && !a.Reloc }
+
+// Join is the lattice join: equal values survive, everything else goes
+// to Top.
+func Join(a, b Value) Value {
+	if a == b {
+		return a
+	}
+	return Value{}
+}
+
+// Add adds two abstract values. Adding a plain constant to a relocated
+// address keeps the relocation provenance (pointer arithmetic within
+// the image); adding two pointers is meaningless and degrades to Top.
+func Add(a, b Value) Value {
+	switch {
+	case a.K == Stack && b.K == Const && !b.Reloc:
+		return StackValue(a.Delta() + int32(b.V))
+	case b.K == Stack && a.K == Const && !a.Reloc:
+		return StackValue(b.Delta() + int32(a.V))
+	case a.K == Const && b.K == Const:
+		if a.Reloc && b.Reloc {
+			return Value{}
+		}
+		return Value{K: Const, V: a.V + b.V, Reloc: a.Reloc || b.Reloc}
+	}
+	return Value{}
+}
+
+// Sub subtracts abstract values: pointer−constant stays a pointer,
+// pointer−pointer is a plain distance, constant−pointer is opaque.
+func Sub(a, b Value) Value {
+	if a.K == Stack && b.K == Const && !b.Reloc {
+		return StackValue(a.Delta() - int32(b.V))
+	}
+	if a.K != Const || b.K != Const {
+		return Value{}
+	}
+	switch {
+	case a.Reloc && b.Reloc:
+		return ConstValue(a.V - b.V)
+	case !a.Reloc && b.Reloc:
+		return Value{}
+	default:
+		return Value{K: Const, V: a.V - b.V, Reloc: a.Reloc}
+	}
+}
+
+// Bits applies a bitwise/multiplicative op: only meaningful on two
+// plain constants (masking a pointer yields an unpredictable address).
+func Bits(a, b Value, f func(a, b uint32) uint32) Value {
+	if a.K == Const && !a.Reloc && b.K == Const && !b.Reloc {
+		return ConstValue(f(a.V, b.V))
+	}
+	return Value{}
+}
+
+// Regs is the abstract register file at one program point.
+type Regs [isa.NumRegs]Value
+
+// Transfer applies the register effect of one instruction to regs.
+// ldi32Reloc marks the LDI32 immediate as a relocated (image-relative)
+// address; runtime consumers pass false — loaded code holds absolute
+// values. Control transfers have no register effect here except RET's
+// stack pop; CALL's callee-side SP adjustment is an edge effect the
+// caller models (the verifier in its flow function, the superblock
+// compiler not at all since CALL ends a block).
+func Transfer(in isa.Instruction, regs *Regs, ldi32Reloc bool) {
+	switch in.Op {
+	case isa.OpMOV:
+		regs[in.Rd] = regs[in.Rs]
+	case isa.OpLDI:
+		regs[in.Rd] = ConstValue(uint32(int32(in.Imm)))
+	case isa.OpLUI:
+		regs[in.Rd] = ConstValue(uint32(uint16(in.Imm)) << 16)
+	case isa.OpLDI32:
+		if ldi32Reloc {
+			regs[in.Rd] = RelocValue(in.Imm32)
+		} else {
+			regs[in.Rd] = ConstValue(in.Imm32)
+		}
+	case isa.OpLD, isa.OpLDB:
+		regs[in.Rd] = Value{}
+	case isa.OpADD:
+		regs[in.Rd] = Add(regs[in.Rd], regs[in.Rs])
+	case isa.OpSUB:
+		if in.Rd == in.Rs {
+			regs[in.Rd] = ConstValue(0) // clr idiom
+		} else {
+			regs[in.Rd] = Sub(regs[in.Rd], regs[in.Rs])
+		}
+	case isa.OpADDI:
+		regs[in.Rd] = Add(regs[in.Rd], ConstValue(uint32(int32(in.Imm))))
+	case isa.OpXOR:
+		if in.Rd == in.Rs {
+			regs[in.Rd] = ConstValue(0) // clr idiom
+		} else {
+			regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a ^ b })
+		}
+	case isa.OpAND:
+		regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a & b })
+	case isa.OpOR:
+		regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a | b })
+	case isa.OpSHL:
+		regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a << (b & 31) })
+	case isa.OpSHR:
+		regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a >> (b & 31) })
+	case isa.OpMUL:
+		regs[in.Rd] = Bits(regs[in.Rd], regs[in.Rs], func(a, b uint32) uint32 { return a * b })
+	case isa.OpPUSH:
+		regs[isa.SP] = Add(regs[isa.SP], ConstValue(^uint32(3))) // -4
+	case isa.OpPOP:
+		regs[in.Rd] = Value{}
+		regs[isa.SP] = Add(regs[isa.SP], ConstValue(4))
+	case isa.OpRET:
+		regs[isa.SP] = Add(regs[isa.SP], ConstValue(4))
+	case isa.OpSVC:
+		// Service results land in r0/r1 (gettime, IPC lengths).
+		regs[isa.R0] = Value{}
+		regs[isa.R1] = Value{}
+	case isa.OpRDCYC:
+		regs[in.Rd] = Value{}
+	}
+}
+
+// Terminator reports whether op ends a basic block: every control
+// transfer plus HLT.
+func Terminator(op isa.Op) bool {
+	switch op {
+	case isa.OpJMP, isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE,
+		isa.OpBLTU, isa.OpBGEU, isa.OpJR, isa.OpCALL, isa.OpCALLR,
+		isa.OpRET, isa.OpHLT:
+		return true
+	}
+	return false
+}

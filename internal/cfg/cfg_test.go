@@ -1,0 +1,128 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestJoin(t *testing.T) {
+	c5 := ConstValue(5)
+	if got := Join(c5, ConstValue(5)); got != c5 {
+		t.Fatalf("join equal consts = %+v", got)
+	}
+	if got := Join(c5, ConstValue(6)); got.K != Top {
+		t.Fatalf("join unequal consts = %+v", got)
+	}
+	if got := Join(c5, RelocValue(5)); got.K != Top {
+		t.Fatalf("join const with reloc const = %+v", got)
+	}
+	if got := Join(StackValue(-4), StackValue(-4)); got.K != Stack || got.Delta() != -4 {
+		t.Fatalf("join equal stack = %+v", got)
+	}
+	if got := Join(StackValue(-4), StackValue(0)); got.K != Top {
+		t.Fatalf("join unequal stack = %+v", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	if got := Add(ConstValue(5), ConstValue(7)); !got.IsConst() || got.V != 12 {
+		t.Fatalf("5+7 = %+v", got)
+	}
+	if got := Add(StackValue(-8), ConstValue(4)); got.K != Stack || got.Delta() != -4 {
+		t.Fatalf("stack-8 + 4 = %+v", got)
+	}
+	// Pointer+pointer has no meaning: two relocated values don't sum to
+	// an address.
+	if got := Add(RelocValue(8), RelocValue(8)); got.K != Top {
+		t.Fatalf("reloc+reloc = %+v", got)
+	}
+	// Pointer+offset keeps provenance.
+	if got := Add(RelocValue(8), ConstValue(4)); got.K != Const || !got.Reloc || got.V != 12 {
+		t.Fatalf("reloc+const = %+v", got)
+	}
+	// Pointer difference is a plain number.
+	if got := Sub(RelocValue(12), RelocValue(4)); !got.IsConst() || got.V != 8 {
+		t.Fatalf("reloc-reloc = %+v", got)
+	}
+	// Number minus pointer is meaningless.
+	if got := Sub(ConstValue(12), RelocValue(4)); got.K != Top {
+		t.Fatalf("const-reloc = %+v", got)
+	}
+}
+
+func TestTransferCoreOps(t *testing.T) {
+	var r Regs
+	step := func(in isa.Instruction) { Transfer(in, &r, false) }
+
+	step(isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: 5})
+	step(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: 3})
+	step(isa.Instruction{Op: isa.OpADD, Rd: isa.R0, Rs: isa.R1})
+	if v := r[isa.R0]; !v.IsConst() || v.V != 8 {
+		t.Fatalf("r0 after add = %+v", v)
+	}
+	step(isa.Instruction{Op: isa.OpSHL, Rd: isa.R0, Rs: isa.R1})
+	if v := r[isa.R0]; !v.IsConst() || v.V != 64 {
+		t.Fatalf("r0 after shl = %+v", v)
+	}
+	// Clear idiom: xor rd, rd is const 0 even from Top.
+	step(isa.Instruction{Op: isa.OpLD, Rd: isa.R2, Rs: isa.R0})
+	if v := r[isa.R2]; v.K != Top {
+		t.Fatalf("r2 after load = %+v", v)
+	}
+	step(isa.Instruction{Op: isa.OpXOR, Rd: isa.R2, Rs: isa.R2})
+	if v := r[isa.R2]; !v.IsConst() || v.V != 0 {
+		t.Fatalf("r2 after xor-clear = %+v", v)
+	}
+
+	// Stack discipline: push/pop move SP by known deltas.
+	r[isa.SP] = StackValue(0)
+	step(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R0})
+	if v := r[isa.SP]; v.K != Stack || v.Delta() != -4 {
+		t.Fatalf("sp after push = %+v", v)
+	}
+	step(isa.Instruction{Op: isa.OpPOP, Rd: isa.R3})
+	if v := r[isa.SP]; v.K != Stack || v.Delta() != 0 {
+		t.Fatalf("sp after pop = %+v", v)
+	}
+	if v := r[isa.R3]; v.K != Top {
+		t.Fatalf("popped r3 = %+v", v)
+	}
+
+	// SVC clobbers the ABI result registers only.
+	r[isa.R4] = ConstValue(9)
+	r[isa.R0] = ConstValue(1)
+	step(isa.Instruction{Op: isa.OpSVC, Imm: 2})
+	if r[isa.R0].K != Top || r[isa.R1].K != Top {
+		t.Fatalf("svc left r0/r1 = %+v %+v", r[isa.R0], r[isa.R1])
+	}
+	if v := r[isa.R4]; !v.IsConst() || v.V != 9 {
+		t.Fatalf("svc clobbered r4 = %+v", v)
+	}
+}
+
+func TestTransferLDI32Reloc(t *testing.T) {
+	var r Regs
+	Transfer(isa.Instruction{Op: isa.OpLDI32, Rd: isa.R0, Imm32: 0x40}, &r, true)
+	v := r[isa.R0]
+	if v.K != Const || !v.Reloc || v.V != 0x40 {
+		t.Fatalf("relocated ldi32 = %+v", v)
+	}
+	if v.IsConst() {
+		t.Fatal("relocated value must not count as a hoistable constant")
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpJMP, isa.OpBEQ, isa.OpJR, isa.OpCALL,
+		isa.OpCALLR, isa.OpRET, isa.OpHLT} {
+		if !Terminator(op) {
+			t.Errorf("%v not a terminator", op)
+		}
+	}
+	for _, op := range []isa.Op{isa.OpNOP, isa.OpADD, isa.OpSVC, isa.OpPUSH} {
+		if Terminator(op) {
+			t.Errorf("%v wrongly a terminator", op)
+		}
+	}
+}

@@ -130,6 +130,18 @@ func (o *Obs) registerGauges() {
 	r.Gauge("tytan_machine_gen_bumps", "EA-MPU generation bumps (cache invalidations).",
 		func() uint64 { return p.M.Stats().GenBumps })
 
+	// Superblock engine.
+	r.Gauge("tytan_machine_sb_compiles", "Superblocks compiled (incl. recompiles).",
+		func() uint64 { return p.M.Stats().SBCompiles })
+	r.Gauge("tytan_machine_sb_hits", "Superblock cache hits (blocks dispatched).",
+		func() uint64 { return p.M.Stats().SBHits })
+	r.Gauge("tytan_machine_sb_bails", "Superblock mid-block bails to the interpreter.",
+		func() uint64 { return p.M.Stats().SBBails })
+	r.Gauge("tytan_machine_sb_fallbacks", "Superblock dispatches declined (guards).",
+		func() uint64 { return p.M.Stats().SBFallbacks })
+	r.Gauge("tytan_machine_sb_invalidations", "Superblock invalidations from code writes.",
+		func() uint64 { return p.M.Stats().SBInvalidations })
+
 	// Kernel.
 	r.Gauge("tytan_kernel_ticks", "Timer ticks serviced.", p.K.Ticks)
 	r.Gauge("tytan_kernel_switches", "Context switches (dispatches).", p.K.Switches)

@@ -367,13 +367,26 @@ func (m *MPU) Protected(addr uint32) bool {
 // covers the last byte the second slot scan is skipped entirely — the
 // common case for aligned word accesses inside a task's own region.
 func (m *MPU) CheckData(pc uint32, kind AccessKind, addr, size uint32) error {
+	return m.checkData(pc, kind, addr, size, true)
+}
+
+// ProbeData asks the same question as CheckData without recording a
+// violation on deny. Block-granular consumers — the superblock compiler
+// hoisting per-access checks to compile time, the fast path warming its
+// span caches — must not perturb the violation counter the observability
+// layer exports: only accesses the guest actually performs may count.
+func (m *MPU) ProbeData(pc uint32, kind AccessKind, addr, size uint32) bool {
+	return m.checkData(pc, kind, addr, size, false) == nil
+}
+
+func (m *MPU) checkData(pc uint32, kind AccessKind, addr, size uint32, count bool) error {
 	if !m.enabled {
 		return nil
 	}
 	if size == 0 {
 		size = 1
 	}
-	granted, err := m.checkByte(pc, kind, addr)
+	granted, err := m.checkByte(pc, kind, addr, count)
 	if err != nil {
 		return err
 	}
@@ -384,13 +397,14 @@ func (m *MPU) CheckData(pc uint32, kind AccessKind, addr, size uint32) error {
 	if granted >= 0 && m.slots[granted].Data.Contains(last) {
 		return nil // the same rule grants both boundary bytes
 	}
-	_, err = m.checkByte(pc, kind, last)
+	_, err = m.checkByte(pc, kind, last, count)
 	return err
 }
 
 // checkByte decides one byte. It returns the index of the granting slot
-// (-1 when the byte is public unclaimed memory) or a *Violation.
-func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) (int, error) {
+// (-1 when the byte is public unclaimed memory) or a *Violation; count
+// gates the violation counter.
+func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32, count bool) (int, error) {
 	need := kind.perm()
 	claimed := false
 	for i := 0; i < NumSlots; i++ {
@@ -411,7 +425,9 @@ func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) (int, error) {
 	if !claimed {
 		return -1, nil // unclaimed memory is public
 	}
-	m.violations++
+	if count {
+		m.violations++
+	}
 	return -1, &Violation{PC: pc, Kind: kind, Addr: addr}
 }
 
@@ -420,6 +436,16 @@ func (m *MPU) checkByte(pc uint32, kind AccessKind, addr uint32) (int, error) {
 // execution (no branch). Entry enforcement applies when control enters a
 // protected executable region from outside it.
 func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
+	return m.checkExec(fromPC, addr, sequential, true)
+}
+
+// ProbeExec asks the same question as CheckExec without recording a
+// violation on deny (see ProbeData).
+func (m *MPU) ProbeExec(fromPC, addr uint32, sequential bool) bool {
+	return m.checkExec(fromPC, addr, sequential, false) == nil
+}
+
+func (m *MPU) checkExec(fromPC, addr uint32, sequential, count bool) error {
 	if !m.enabled {
 		return nil
 	}
@@ -451,7 +477,9 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 		return nil
 	}
 	if entered == nil {
-		m.violations++
+		if count {
+			m.violations++
+		}
 		return &Violation{PC: fromPC, Kind: AccessExec, Addr: addr}
 	}
 	if entered.EnforceEntry && !entered.Data.Contains(fromPC) {
@@ -462,7 +490,9 @@ func (m *MPU) CheckExec(fromPC, addr uint32, sequential bool) error {
 		// and accepting accidental fall-through would let code that
 		// corrupted its own text "walk" into a neighbouring task.
 		if sequential || addr != entered.Entry {
-			m.violations++
+			if count {
+				m.violations++
+			}
 			return &Violation{PC: fromPC, Kind: AccessExec, Addr: addr, Entry: entered.Entry, EntryErr: true}
 		}
 	}

@@ -207,6 +207,12 @@ func NewJob(mem Memory, im *telf.Image, base uint32) *Job {
 	blob := make([]byte, 0, len(im.Text)+len(im.Data))
 	blob = append(blob, im.Text...)
 	blob = append(blob, im.Data...)
+	// Tell the simulator how much more executable text is about to be
+	// resident so it can widen its predecode tables before the code
+	// runs (a host-side sizing hint; no guest-visible effect).
+	if g, ok := mem.(interface{ GrowICacheForText(uint32) }); ok {
+		g.GrowICacheForText(uint32(len(im.Text)))
+	}
 	return &Job{mem: mem, p: Placement{Image: im, Base: base}, blob: blob}
 }
 

@@ -218,6 +218,12 @@ func (m *Machine) Run(budget uint64) RunResult {
 		if m.cycles-start >= budget {
 			return RunResult{Reason: StopBudget, Steps: steps}
 		}
+		if m.Superblocks {
+			if n, ok := m.stepBlock(start, budget); ok {
+				steps += n
+				continue
+			}
+		}
 		res := m.Step()
 		steps += res.Steps
 		if res.Reason != StopBudget {

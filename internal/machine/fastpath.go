@@ -44,11 +44,13 @@ var FastPathDefault = true
 
 const (
 	// icacheBits sizes the direct-mapped predecode table (1<<icacheBits
-	// entries, indexed by word address). 1024 entries cover 4 KiB of
-	// straight-line code per alias set — plenty for the paper's task
-	// images — while keeping the table cheap to allocate per machine.
-	icacheBits = 10
-	icacheSize = 1 << icacheBits
+	// entries, indexed by word address) in its default configuration.
+	// 1024 entries cover 4 KiB of straight-line code per alias set —
+	// plenty for the paper's task images — while keeping the table cheap
+	// to allocate per machine. The table grows (Options.ICacheBits,
+	// GrowICacheForText) up to icacheMaxBits when larger images load.
+	icacheBits    = 10
+	icacheMaxBits = 16
 
 	// dcacheWays is the number of decision-cache entries per access
 	// kind, indexed by a hash of execution context and target page so
@@ -171,13 +173,34 @@ func (m *Machine) syncMPUGen() {
 	}
 }
 
-// bumpGen invalidates every cached decode and decision by advancing the
-// generation. Stale entries can no longer match, so until the next fill
-// there is no cached code to guard against writes.
+// bumpGen invalidates every cached decode, decision and compiled block
+// by advancing the generation. Stale entries can no longer match, so
+// until the next fill there is no cached code to guard against writes.
 func (m *Machine) bumpGen() {
 	m.gen++
 	m.genBumps++
 	m.codeLo, m.codeHi = eampu.MaxAddr, 0
+	m.sbLo, m.sbHi = eampu.MaxAddr, 0
+}
+
+// GrowICacheForText widens the predecode table so textBytes more bytes
+// of loaded code fit without alias thrashing; the loader calls it with
+// each image's text size. Growth accumulates (several co-resident
+// tasks), is clamped to icacheMaxBits, and never shrinks. Reallocation
+// is sound at any point: entries are gen-tagged and refill on demand,
+// so dropping the old table only costs decode misses, never a wrong
+// decode.
+func (m *Machine) GrowICacheForText(textBytes uint32) {
+	m.textBytes += textBytes
+	bits := uint32(icacheBits)
+	for bits < icacheMaxBits && uint32(4)<<bits < m.textBytes {
+		bits++
+	}
+	if mask := uint32(1)<<bits - 1; mask > m.icMask {
+		m.icMask = mask
+		m.icache = nil // reallocated lazily at the new size
+		m.codeLo, m.codeHi = eampu.MaxAddr, 0
+	}
 }
 
 // noteRAMWrite is called by every path that mutates RAM with the byte
@@ -209,13 +232,29 @@ func (m *Machine) noteRAMWrite(off, n int) {
 	}
 	a := RAMBase + uint32(off)
 	last := a + uint32(n) - 1
+	// Compiled superblocks read their text at compile time, not through
+	// the predecode table, so they need their own overlap test: a write
+	// into any granule holding compiled code this generation invalidates
+	// everything. Checked before the icache early-exit below — a block
+	// may cover code the predecode table never saw.
+	if last >= m.sbLo && a <= m.sbHi {
+		g0 := (a - RAMBase) >> sbPageBits
+		g1 := (last - RAMBase) >> sbPageBits
+		for g := g0; g <= g1 && int(g) < len(m.sbPages); g++ {
+			if m.sbPages[g] == m.gen {
+				m.sbInvalidations++
+				m.bumpGen()
+				break
+			}
+		}
+	}
 	if last < m.codeLo || a > m.codeHi {
 		return
 	}
 	w0 := a>>2 - 2
 	w1 := last >> 2
 	for w := w0; w <= w1; w++ {
-		e := &m.icache[w&(icacheSize-1)]
+		e := &m.icache[w&m.icMask]
 		if e.gen == m.gen && e.pc <= last && a <= e.pc+e.in.Width()-1 {
 			m.bumpGen()
 			return
@@ -264,9 +303,9 @@ func (m *Machine) fetchFast() (isa.Instruction, *Fault) {
 		m.execSpanFills++
 	}
 	if m.icache == nil {
-		m.icache = make([]icEntry, icacheSize)
+		m.icache = make([]icEntry, m.icMask+1)
 	}
-	ic := &m.icache[(pc>>2)&(icacheSize-1)]
+	ic := &m.icache[(pc>>2)&m.icMask]
 	if ic.gen == m.gen && ic.pc == pc {
 		return ic.in, nil
 	}

@@ -132,6 +132,15 @@ type Machine struct {
 	// instruction costs. New initializes it from FastPathDefault.
 	FastPath bool
 
+	// Superblocks enables the superblock compiler (superblock.go): Run
+	// fuses basic blocks into closure chains on first execution and
+	// dispatches them instead of stepping instruction by instruction.
+	// Like FastPath, the knob is architecturally invisible — cycles,
+	// faults, traces and stop reasons are bit-identical either way —
+	// and it only takes effect inside Run; Step always interprets. New
+	// initializes it from SuperblocksDefault.
+	Superblocks bool
+
 	ram     []byte
 	cycles  uint64
 	devices map[uint32]Device // MMIO page index -> device
@@ -148,11 +157,28 @@ type Machine struct {
 	gen    uint32
 	mpuGen uint64
 	icache []icEntry
-	exec   [execWays]execSpan
-	dcache [2][dcacheWays]dataSpan // [AccessRead/AccessWrite][execPC hash]
+	// icMask is the predecode-table index mask (table size - 1). It
+	// defaults to icacheSize-1 and grows with the loaded text extent
+	// (Options.ICacheBits, GrowICacheForText) so large images do not
+	// thrash the direct-mapped table.
+	icMask    uint32
+	textBytes uint32 // cumulative loaded text, drives icache growth
+	exec      [execWays]execSpan
+	dcache    [2][dcacheWays]dataSpan // [AccessRead/AccessWrite][execPC hash]
 	// codeLo/codeHi bound the addresses holding cached code this
 	// generation: writes outside the range skip line-overlap probing.
 	codeLo, codeHi uint32
+
+	// Superblock engine state (superblock.go). sbcache is the compiled-
+	// block table; sbPages marks, per 256-byte RAM granule, the
+	// generation under which compiled code covers the granule, with
+	// sbLo/sbHi bounding the covered address range so ordinary data
+	// writes cost one range check. sbOff is per-op scratch: the RAM
+	// offset a pre-check validated for the op body that follows it.
+	sbcache      []sbEntry
+	sbPages      []uint32
+	sbLo, sbHi   uint32
+	sbOff        uint32
 	// ramHi is the dirty-RAM watermark (highest written offset + 1) and
 	// dirty the 4 KiB dirty-page bitmap; Release re-zeroes only dirtied
 	// pages to recycle the buffer.
@@ -169,6 +195,13 @@ type Machine struct {
 	execSpanFills uint64
 	dataSpanFills uint64
 	genBumps      uint64
+
+	// Superblock engine counters (same contract: cold paths only).
+	sbCompiles      uint64
+	sbHits          uint64
+	sbBails         uint64
+	sbFallbacks     uint64
+	sbInvalidations uint64
 
 	// CPU state.
 	regs     [isa.NumRegs]uint32
@@ -199,20 +232,47 @@ type Machine struct {
 	Obs trace.Sink
 }
 
+// Options parameterizes machine construction beyond the common case.
+type Options struct {
+	// RAMSize is the amount of mapped RAM (0 selects DefaultRAMSize).
+	RAMSize uint32
+	// ICacheBits sizes the direct-mapped predecode table at 1<<n
+	// entries (0 selects the icacheBits default). Values are clamped to
+	// [icacheBits, icacheMaxBits]. The loader grows the table further to
+	// match the loaded text extent via GrowICacheForText, so most
+	// callers never set this.
+	ICacheBits int
+}
+
 // New creates a machine with the given amount of RAM (0 selects
 // DefaultRAMSize) and a fresh, disabled EA-MPU.
 func New(ramSize uint32) *Machine {
-	if ramSize == 0 {
-		ramSize = DefaultRAMSize
+	return NewWithOptions(Options{RAMSize: ramSize})
+}
+
+// NewWithOptions creates a machine from explicit options.
+func NewWithOptions(opt Options) *Machine {
+	if opt.RAMSize == 0 {
+		opt.RAMSize = DefaultRAMSize
+	}
+	bits := opt.ICacheBits
+	if bits < icacheBits {
+		bits = icacheBits
+	}
+	if bits > icacheMaxBits {
+		bits = icacheMaxBits
 	}
 	return &Machine{
-		MPU:        &eampu.MPU{},
-		FastPath:   FastPathDefault,
-		ram:        getRAM(ramSize),
-		devices:    make(map[uint32]Device),
-		enabledIRQ: ^uint32(0),
-		gen:        1, // zero-valued cache entries must never match
-		codeLo:     eampu.MaxAddr,
+		MPU:         &eampu.MPU{},
+		FastPath:    FastPathDefault,
+		Superblocks: SuperblocksDefault,
+		ram:         getRAM(opt.RAMSize),
+		devices:     make(map[uint32]Device),
+		enabledIRQ:  ^uint32(0),
+		gen:         1, // zero-valued cache entries must never match
+		codeLo:      eampu.MaxAddr,
+		sbLo:        eampu.MaxAddr,
+		icMask:      1<<uint(bits) - 1,
 	}
 }
 
@@ -231,6 +291,13 @@ type Stats struct {
 	ExecSpanFills uint64 // exec-permission span refills (full MPU scans)
 	DataSpanFills uint64 // data decision-cache refills (full MPU scans)
 	GenBumps      uint64 // cache invalidations (MPU reconfig / code writes)
+
+	// Superblock engine counters.
+	SBCompiles      uint64 // blocks compiled (includes recompiles after invalidation)
+	SBHits          uint64 // compiled blocks dispatched from the block cache
+	SBBails         uint64 // mid-block exits back to the interpreter
+	SBFallbacks     uint64 // dispatches declined (guards, empty blocks)
+	SBInvalidations uint64 // generation bumps from writes into compiled code
 }
 
 // Stats returns the current fast-path counters.
@@ -241,6 +308,12 @@ func (m *Machine) Stats() Stats {
 		ExecSpanFills: m.execSpanFills,
 		DataSpanFills: m.dataSpanFills,
 		GenBumps:      m.genBumps,
+
+		SBCompiles:      m.sbCompiles,
+		SBHits:          m.sbHits,
+		SBBails:         m.sbBails,
+		SBFallbacks:     m.sbFallbacks,
+		SBInvalidations: m.sbInvalidations,
 	}
 }
 

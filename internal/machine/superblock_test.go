@@ -1,0 +1,535 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eampu"
+	"repro/internal/isa"
+)
+
+// Three-way differential tests for the superblock engine: a reference
+// machine (pure interpretation), a fast-path machine, and a superblock
+// machine execute the same firmware through Run slices, and after every
+// slice the complete architectural state — cycles, registers, EIP,
+// EFLAGS, stop reasons, fault text, violation counts, retire counts,
+// per-instruction traces — must be bit-for-bit identical. The rig
+// drives Run (not Step) because superblocks only engage inside Run.
+
+// triRig holds the three machines fed identical inputs.
+type triRig struct {
+	ref, fast, sb *Machine
+	rtr, ftr, str stepTrace
+}
+
+func newTriRig(ramSize uint32) *triRig {
+	r := &triRig{ref: New(ramSize), fast: New(ramSize), sb: New(ramSize)}
+	r.ref.FastPath, r.ref.Superblocks = false, false
+	r.fast.FastPath, r.fast.Superblocks = true, false
+	r.sb.FastPath, r.sb.Superblocks = true, true
+	return r
+}
+
+func (r *triRig) trace() {
+	r.ref.OnStep = r.rtr.hook()
+	r.fast.OnStep = r.ftr.hook()
+	r.sb.OnStep = r.str.hook()
+}
+
+func (r *triRig) each(f func(m *Machine)) {
+	f(r.ref)
+	f(r.fast)
+	f(r.sb)
+}
+
+// compare checks full architectural equality across the three machines.
+func (r *triRig) compare(t *testing.T, tag string, rr, rf, rs RunResult) {
+	t.Helper()
+	pairs := []struct {
+		name string
+		m    *Machine
+		res  RunResult
+		tr   *stepTrace
+	}{
+		{"fast", r.fast, rf, &r.ftr},
+		{"sb", r.sb, rs, &r.str},
+	}
+	for _, p := range pairs {
+		if p.res.Reason != rr.Reason {
+			t.Fatalf("%s: reason %s=%v ref=%v", tag, p.name, p.res.Reason, rr.Reason)
+		}
+		if p.res.Steps != rr.Steps {
+			t.Fatalf("%s: steps %s=%d ref=%d", tag, p.name, p.res.Steps, rr.Steps)
+		}
+		if p.res.SVC != rr.SVC {
+			t.Fatalf("%s: svc %s=%d ref=%d", tag, p.name, p.res.SVC, rr.SVC)
+		}
+		switch {
+		case (p.res.Fault == nil) != (rr.Fault == nil):
+			t.Fatalf("%s: fault %s=%v ref=%v", tag, p.name, p.res.Fault, rr.Fault)
+		case p.res.Fault != nil && p.res.Fault.Error() != rr.Fault.Error():
+			t.Fatalf("%s: fault text %s=%q ref=%q", tag, p.name, p.res.Fault, rr.Fault)
+		}
+		if a, b := p.m.Cycles(), r.ref.Cycles(); a != b {
+			t.Fatalf("%s: cycles %s=%d ref=%d", tag, p.name, a, b)
+		}
+		if a, b := p.m.EIP(), r.ref.EIP(); a != b {
+			t.Fatalf("%s: eip %s=%#x ref=%#x", tag, p.name, a, b)
+		}
+		if a, b := p.m.EFLAGS(), r.ref.EFLAGS(); a != b {
+			t.Fatalf("%s: eflags %s=%#x ref=%#x", tag, p.name, a, b)
+		}
+		if a, b := p.m.InsnRetired(), r.ref.InsnRetired(); a != b {
+			t.Fatalf("%s: retired %s=%d ref=%d", tag, p.name, a, b)
+		}
+		if a, b := p.m.MPU.Violations(), r.ref.MPU.Violations(); a != b {
+			t.Fatalf("%s: violations %s=%d ref=%d", tag, p.name, a, b)
+		}
+		for i := 0; i < int(isa.NumRegs); i++ {
+			if a, b := p.m.Reg(isa.Reg(i)), r.ref.Reg(isa.Reg(i)); a != b {
+				t.Fatalf("%s: r%d %s=%#x ref=%#x", tag, i, p.name, a, b)
+			}
+		}
+		if len(p.tr.pcs) != len(r.rtr.pcs) {
+			t.Fatalf("%s: trace length %s=%d ref=%d", tag, p.name, len(p.tr.pcs), len(r.rtr.pcs))
+		}
+		for i := range p.tr.pcs {
+			if p.tr.pcs[i] != r.rtr.pcs[i] || p.tr.ops[i] != r.rtr.ops[i] {
+				t.Fatalf("%s: trace[%d] %s=(%#x,%v) ref=(%#x,%v)",
+					tag, i, p.name, p.tr.pcs[i], p.tr.ops[i], r.rtr.pcs[i], r.rtr.ops[i])
+			}
+		}
+	}
+}
+
+// runSlices drives all three machines through Run slices of the given
+// budgets (cycled) until a non-budget, non-IRQ stop or maxSlices.
+func (r *triRig) runSlices(t *testing.T, budgets []uint64, maxSlices int) {
+	t.Helper()
+	for i := 0; i < maxSlices; i++ {
+		budget := budgets[i%len(budgets)]
+		rr := r.ref.Run(budget)
+		rf := r.fast.Run(budget)
+		rs := r.sb.Run(budget)
+		r.compare(t, fmt.Sprintf("slice %d (budget %d)", i, budget), rr, rf, rs)
+		if rr.Reason != StopBudget && rr.Reason != StopIRQ {
+			return
+		}
+	}
+}
+
+// kernelProgram is a compute loop with const-addressed and pointer
+// memory traffic, calls and stack ops — the shape superblocks fuse.
+func kernelProgram() isa.Program {
+	var p isa.Program
+	// fn at word 0: r0 = r0*2 + 3; ret
+	p.Emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R4, Imm: 2})
+	p.Emit(isa.Instruction{Op: isa.OpMUL, Rd: isa.R0, Rs: isa.R4})
+	p.Emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R0, Imm: 3})
+	p.Emit(isa.Instruction{Op: isa.OpRET})
+	// entry at word 4
+	p.Emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: 100})     // counter
+	p.Emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R2, Imm: 0})       // sum
+	p.Emit(isa.Instruction{Op: isa.OpLDI32, Rd: isa.R3, Imm32: 0x9000}) // buffer
+	// loop at word 8:
+	p.Emit(isa.Instruction{Op: isa.OpMOV, Rd: isa.R0, Rs: isa.R1})
+	p.Emit(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R1})
+	p.Emit(isa.Instruction{Op: isa.OpCALL, Imm: -11}) // fn (word 0)
+	p.Emit(isa.Instruction{Op: isa.OpPOP, Rd: isa.R1})
+	p.Emit(isa.Instruction{Op: isa.OpADD, Rd: isa.R2, Rs: isa.R0})
+	p.Emit(isa.Instruction{Op: isa.OpST, Rd: isa.R3, Rs: isa.R2, Imm: 0})  // pointer store
+	p.Emit(isa.Instruction{Op: isa.OpLD, Rd: isa.R5, Rs: isa.R3, Imm: 0})  // pointer load
+	p.Emit(isa.Instruction{Op: isa.OpSTB, Rd: isa.R3, Rs: isa.R1, Imm: 8}) // byte traffic
+	p.Emit(isa.Instruction{Op: isa.OpLDB, Rd: isa.R6, Rs: isa.R3, Imm: 8})
+	p.Emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R1, Imm: -1})
+	p.Emit(isa.Instruction{Op: isa.OpCMPI, Rd: isa.R1, Imm: 0})
+	p.Emit(isa.Instruction{Op: isa.OpBNE, Imm: -12}) // loop (word 8)
+	p.Emit(isa.Instruction{Op: isa.OpHLT})
+	return p
+}
+
+// TestSuperblockDifferentialKernel runs the compute kernel through Run
+// slices with deliberately awkward budgets (including budgets smaller
+// than one block) and requires three-way equality after every slice.
+func TestSuperblockDifferentialKernel(t *testing.T) {
+	for _, budgets := range [][]uint64{
+		{1 << 20},                  // one big slice
+		{1, 2, 3, 5, 7, 11, 13},    // tiny slices: constant fallback
+		{17, 100, 1, 1000, 2, 50},  // mixed
+	} {
+		r := newTriRig(64 << 10)
+		r.trace()
+		p := kernelProgram()
+		r.each(func(m *Machine) {
+			m.LoadBytes(0x2000, p.Bytes())
+			m.SetEIP(0x2000 + 4*4)
+			m.SetReg(isa.SP, 0x8000)
+		})
+		r.runSlices(t, budgets, 100000)
+		if r.sb.Reg(isa.R2) == 0 {
+			t.Fatal("kernel did not run")
+		}
+		if st := r.sb.Stats(); st.SBHits == 0 && budgets[0] > 100 {
+			t.Fatalf("superblock engine never engaged: %+v", st)
+		}
+	}
+}
+
+// TestSuperblockDifferentialSelfModifyInBlock patches an instruction
+// *later in the same basic block* as the store, with the store already
+// compiled: the block must split at the store and the very next
+// instruction must execute the new bytes, on all three engines
+// identically. The store's target register is set outside the block so
+// warm-up passes (which aim it at scratch data) get the block hot and
+// compiled from pristine bytes before the final pass aims it at the
+// block's own text.
+func TestSuperblockDifferentialSelfModifyInBlock(t *testing.T) {
+	const base = 0x2000
+	const target = base + 2*4 // word 2: the LDI R1 below
+	var p isa.Program
+	p.Emit(isa.Instruction{Op: isa.OpST, Rd: isa.R2, Rs: isa.R3, Imm: 0}) // word 0: runtime target
+	p.Emit(isa.Instruction{Op: isa.OpNOP})                                // word 1
+	p.Emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: 111})          // word 2: overwritten
+	p.Emit(isa.Instruction{Op: isa.OpHLT})
+
+	r := newTriRig(64 << 10)
+	r.trace()
+	r.each(func(m *Machine) {
+		m.LoadBytes(base, p.Bytes())
+		m.SetReg(isa.SP, 0x8000)
+		m.SetReg(isa.R3, patchedWord())
+	})
+	// Warm passes: the store writes scratch data; the block compiles.
+	for pass := 0; pass < sbCompileThreshold+1; pass++ {
+		r.each(func(m *Machine) {
+			m.SetEIP(base)
+			m.SetReg(isa.R2, 0x9000)
+			m.SetReg(isa.R1, 0)
+		})
+		r.runSlices(t, []uint64{1 << 20}, 10)
+		if got := r.sb.Reg(isa.R1); got != 111 {
+			t.Fatalf("warm pass %d: r1 = %d, want 111", pass, got)
+		}
+	}
+	if st := r.sb.Stats(); st.SBHits == 0 {
+		t.Fatalf("block never compiled during warm-up: %+v", st)
+	}
+
+	// Hot pass: the compiled store now aims at word 2 of its own block.
+	r.each(func(m *Machine) {
+		m.SetEIP(base)
+		m.SetReg(isa.R2, target)
+		m.SetReg(isa.R1, 0)
+	})
+	r.runSlices(t, []uint64{1 << 20}, 10)
+	if got := r.sb.Reg(isa.R1); got != 222 {
+		t.Fatalf("patched r1 = %d, want 222", got)
+	}
+	if st := r.sb.Stats(); st.SBInvalidations == 0 {
+		t.Fatalf("store into compiled code did not invalidate: %+v", st)
+	}
+
+	// The patched code is now stable; re-warming and re-running must
+	// recompile from the new bytes and still match the reference.
+	for pass := 0; pass < sbCompileThreshold+1; pass++ {
+		r.each(func(m *Machine) {
+			m.SetEIP(base)
+			m.SetReg(isa.R2, 0x9000)
+			m.SetReg(isa.R1, 0)
+		})
+		r.runSlices(t, []uint64{1 << 20}, 10)
+		if got := r.sb.Reg(isa.R1); got != 222 {
+			t.Fatalf("post-patch pass %d: r1 = %d, want 222", pass, got)
+		}
+	}
+}
+
+// TestSuperblockDifferentialMPUReconfig compiles a block containing a
+// (hoisted, const-addressed) store, then reconfigures the EA-MPU so the
+// store becomes a violation: the compiled verdict must be invalidated
+// and all three engines must fault identically.
+func TestSuperblockDifferentialMPUReconfig(t *testing.T) {
+	var p isa.Program
+	p.Emit(isa.Instruction{Op: isa.OpLDI32, Rd: isa.R2, Imm32: 0x9000})
+	p.Emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R3, Imm: 5})
+	p.Emit(isa.Instruction{Op: isa.OpST, Rd: isa.R2, Rs: isa.R3, Imm: 0})
+	p.Emit(isa.Instruction{Op: isa.OpHLT})
+
+	r := newTriRig(64 << 10)
+	r.trace()
+	r.each(func(m *Machine) {
+		m.LoadBytes(0x2000, p.Bytes())
+		m.SetEIP(0x2000)
+		m.SetReg(isa.SP, 0x8000)
+	})
+	// Unprotected: the store succeeds. Repeat past the compile
+	// threshold so the sb engine compiles the block and hoists the
+	// (const-addressed) store's verdict.
+	for pass := 0; pass < sbCompileThreshold+1; pass++ {
+		r.runSlices(t, []uint64{1 << 20}, 10)
+		r.each(func(m *Machine) { m.SetEIP(0x2000) })
+	}
+	if st := r.sb.Stats(); st.SBHits == 0 {
+		t.Fatalf("block never compiled before reconfig: %+v", st)
+	}
+
+	// Claim 0x9000 for code living elsewhere and rerun from the top:
+	// the hoisted "store allowed" verdict must die with the generation.
+	// Repeat past the threshold again so the post-reconfig recompile
+	// (which must refuse to hoist the now-denied store) is exercised.
+	r.each(func(m *Machine) {
+		if err := m.MPU.Install(0, eampu.Rule{
+			Code:  eampu.Region{Start: 0x4000, Size: 0x100},
+			Data:  eampu.Region{Start: 0x9000, Size: 0x100},
+			Perm:  eampu.PermRW,
+			Owner: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m.MPU.Enable()
+	})
+	for pass := 0; pass < sbCompileThreshold+1; pass++ {
+		r.each(func(m *Machine) { m.SetEIP(0x2000) })
+		r.rtr, r.ftr, r.str = stepTrace{}, stepTrace{}, stepTrace{}
+		r.trace()
+		r.runSlices(t, []uint64{1 << 20}, 10)
+		if r.sb.EIP() != 0x2000+3*4 {
+			t.Fatalf("pass %d: expected fault at the store, eip=%#x", pass, r.sb.EIP())
+		}
+	}
+}
+
+// TestSuperblockDifferentialEntryEnforcement jumps into an
+// entry-enforcing region both at and past the entry point; compiled
+// dispatch must honour the same entry rules as interpreted fetch.
+func TestSuperblockDifferentialEntryEnforcement(t *testing.T) {
+	var task isa.Program
+	task.Emit(isa.Instruction{Op: isa.OpNOP})
+	task.Emit(isa.Instruction{Op: isa.OpHLT})
+	var caller isa.Program
+	caller.Emit(isa.Instruction{Op: isa.OpJR, Rs: isa.R2})
+
+	for _, target := range []uint32{0x4000, 0x4004} {
+		r := newTriRig(64 << 10)
+		r.trace()
+		r.each(func(m *Machine) {
+			m.LoadBytes(0x2000, caller.Bytes())
+			m.LoadBytes(0x4000, task.Bytes())
+			if err := m.MPU.Install(0, eampu.Rule{
+				Code:         eampu.Region{Start: 0x4000, Size: 0x100},
+				Data:         eampu.Region{Start: 0x4000, Size: 0x100},
+				Perm:         eampu.PermR | eampu.PermX,
+				EnforceEntry: true,
+				Entry:        0x4000,
+				Owner:        1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m.MPU.Enable()
+			m.SetReg(isa.R2, target)
+			m.SetReg(isa.SP, 0x8000)
+		})
+		// Repeat past the compile threshold so later passes dispatch
+		// compiled blocks (or, for the illegal target, prove that
+		// compiled dispatch still refuses mid-region entry).
+		for pass := 0; pass < sbCompileThreshold+2; pass++ {
+			r.each(func(m *Machine) { m.SetEIP(0x2000) })
+			r.runSlices(t, []uint64{1 << 20}, 10)
+		}
+	}
+}
+
+// TestSuperblockDifferentialIRQSweep arranges for the timer to assert
+// at every possible offset within the compiled kernel blocks (48
+// consecutive periods sweep every intra-block instruction boundary, as
+// the periods are incommensurate with the loop's cycle pattern) and
+// checks interrupt delivery timing is identical on all three engines.
+// The floor of 14 keeps the guest making progress: each delivery costs
+// 13 cycles (exception entry + handler HLT) before the task resumes.
+func TestSuperblockDifferentialIRQSweep(t *testing.T) {
+	var handler isa.Program
+	handler.Emit(isa.Instruction{Op: isa.OpHLT})
+
+	for period := uint32(14); period <= 61; period++ {
+		r := newTriRig(64 << 10)
+		p := kernelProgram()
+		r.each(func(m *Machine) {
+			timer := NewTimer(m.Cycles)
+			m.MapDevice(PageTimer, timer)
+			timer.Write(TimerRegPeriod, period)
+			timer.Write(TimerRegCtrl, 1)
+			m.LoadBytes(0x2000, p.Bytes())
+			m.LoadBytes(0x3000, handler.Bytes())
+			if err := m.SetIDTHandler(IRQTimer, 0x3000); err != nil {
+				t.Fatal(err)
+			}
+			m.SetInterruptsEnabled(true)
+			m.SetEIP(0x2000 + 4*4)
+			m.SetReg(isa.SP, 0x8000)
+		})
+		for slice := 0; slice < 3000; slice++ {
+			rr := r.ref.Run(1 << 20)
+			rf := r.fast.Run(1 << 20)
+			rs := r.sb.Run(1 << 20)
+			r.compare(t, fmt.Sprintf("period %d slice %d", period, slice), rr, rf, rs)
+			if rr.Reason == StopHalt {
+				break
+			}
+			if rr.Reason != StopIRQ {
+				t.Fatalf("period %d: unexpected stop %v", period, rr.Reason)
+			}
+			r.each(func(m *Machine) {
+				h, err := m.EnterInterrupt(IRQTimer)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetEIP(h)
+				m.AckIRQ(IRQTimer)
+				if res := m.Step(); res.Reason != StopHalt { // handler HLT
+					t.Fatalf("handler: %v", res.Reason)
+				}
+				if err := m.ReturnFromInterrupt(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			r.compare(t, fmt.Sprintf("period %d post-irq %d", period, slice), RunResult{}, RunResult{}, RunResult{})
+		}
+		if r.sb.Reg(isa.R2) == 0 {
+			t.Fatalf("period %d: kernel did not finish", period)
+		}
+	}
+}
+
+// TestSuperblockDifferentialRandomStreams feeds all three engines
+// identical random word streams through Run slices: illegal
+// instructions, wild branches and garbage accesses must stop all three
+// identically.
+func TestSuperblockDifferentialRandomStreams(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint32, 256)
+		for i := range words {
+			words[i] = rng.Uint32()
+		}
+		budget := []uint64{uint64(rng.Intn(64) + 1)}
+		r := newTriRig(64 << 10)
+		r.trace()
+		r.each(func(m *Machine) {
+			for i, w := range words {
+				if err := m.RawWrite32(0x2000+uint32(i*4), w); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.SetEIP(0x2000)
+			m.SetReg(isa.SP, 0x8000)
+		})
+		r.runSlices(t, budget, 4000)
+	}
+}
+
+// TestSuperblockHookedTrace checks the traced (OnStep) executor path
+// specifically: with a hook attached superblocks downshift to per-op
+// bookkeeping, and the observed (pc, op) stream must equal the
+// reference stream instruction for instruction. (The other tests
+// attach hooks too; this one asserts the engine still engages.)
+func TestSuperblockHookedTrace(t *testing.T) {
+	r := newTriRig(64 << 10)
+	r.trace()
+	p := kernelProgram()
+	r.each(func(m *Machine) {
+		m.LoadBytes(0x2000, p.Bytes())
+		m.SetEIP(0x2000 + 4*4)
+		m.SetReg(isa.SP, 0x8000)
+	})
+	r.runSlices(t, []uint64{1 << 20}, 10)
+	if st := r.sb.Stats(); st.SBHits == 0 {
+		t.Fatalf("hooked run never dispatched a block: %+v", st)
+	}
+	if len(r.str.pcs) == 0 {
+		t.Fatal("hook observed nothing")
+	}
+}
+
+// TestSuperblockStats sanity-checks the engine counters on a plain run.
+func TestSuperblockStats(t *testing.T) {
+	m := New(64 << 10)
+	m.FastPath, m.Superblocks = true, true
+	p := kernelProgram()
+	if err := m.LoadBytes(0x2000, p.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetEIP(0x2000 + 4*4)
+	m.SetReg(isa.SP, 0x8000)
+	res := m.Run(1 << 22)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop = %v", res.Reason)
+	}
+	st := m.Stats()
+	if st.SBCompiles == 0 || st.SBHits == 0 {
+		t.Fatalf("engine never engaged: %+v", st)
+	}
+	if st.SBHits < st.SBCompiles {
+		t.Fatalf("hits (%d) < compiles (%d): cache not reused", st.SBHits, st.SBCompiles)
+	}
+}
+
+// TestICacheGrowth checks that the loader-driven predecode-table sizing
+// keeps large programs from alias-thrashing: a straight-line program
+// larger than the default table must decode each instruction once (plus
+// nothing on the second pass) once GrowICacheForText has sized the
+// table, while the fixed default table would miss on every pass.
+func TestICacheGrowth(t *testing.T) {
+	const words = 2048 // 8 KiB of text: double the default table
+	run := func(m *Machine) Stats {
+		var p isa.Program
+		for i := 0; i < words-1; i++ {
+			p.Emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R0, Imm: 1})
+		}
+		p.Emit(isa.Instruction{Op: isa.OpJR, Rs: isa.R1}) // return to caller loop
+		if err := m.LoadBytes(0x2000, p.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		// Two passes over the whole text.
+		m.SetReg(isa.R1, RAMBase) // harmless target; we stop before using it
+		for pass := 0; pass < 2; pass++ {
+			m.SetEIP(0x2000)
+			m.Superblocks = false // isolate the predecode cache
+			for i := 0; i < words-1; i++ {
+				if res := m.Step(); res.Reason != StopBudget {
+					t.Fatalf("pass %d step %d: %v", pass, i, res.Reason)
+				}
+			}
+		}
+		return m.Stats()
+	}
+
+	grown := New(64 << 10)
+	grown.GrowICacheForText(words * 4)
+	gs := run(grown)
+	// Every instruction decodes once on the first pass; the second pass
+	// is fully served from the grown table.
+	if gs.DecodeMisses != words-1 {
+		t.Fatalf("grown table: %d decode misses, want %d", gs.DecodeMisses, words-1)
+	}
+
+	fixed := New(64 << 10)
+	fs := run(fixed)
+	if fs.DecodeMisses < 2*(words-1)-icacheSizeDefault() {
+		t.Fatalf("fixed table unexpectedly large: %d misses", fs.DecodeMisses)
+	}
+}
+
+func icacheSizeDefault() uint64 { return 1 << icacheBits }
+
+// TestNewWithOptionsICacheBits checks the Options knob sizes the table
+// directly.
+func TestNewWithOptionsICacheBits(t *testing.T) {
+	m := NewWithOptions(Options{RAMSize: 64 << 10, ICacheBits: 12})
+	if m.icMask != (1<<12)-1 {
+		t.Fatalf("icMask = %#x", m.icMask)
+	}
+	if m2 := NewWithOptions(Options{RAMSize: 64 << 10, ICacheBits: 99}); m2.icMask != (1<<icacheMaxBits)-1 {
+		t.Fatalf("clamped icMask = %#x", m2.icMask)
+	}
+}

@@ -3,6 +3,7 @@ package sverify
 import (
 	"fmt"
 
+	"repro/internal/cfg"
 	"repro/internal/isa"
 	"repro/internal/machine"
 )
@@ -14,52 +15,24 @@ import (
 // errors, byte accesses to MMIO — plus the syscall-allowlist and
 // stack-discipline checks.
 //
-// The value lattice is deliberately shallow: a register is Top
-// (unknown), a constant (tagged with whether it came from a relocated
-// LDI32 immediate, i.e. is an image-relative address the loader
-// rebases), or an SP-relative offset. Joins of unequal values go
-// straight to Top, which keeps the fixpoint fast and the verdicts
-// one-sided: a finding means *provably* bad, silence means nothing.
-
-type avk uint8
-
-const (
-	avTop   avk = iota // unknown
-	avConst            // known 32-bit value (reloc: image-relative)
-	avStack            // SP-relative: v = signed delta from the initial SP
-)
-
-// aval is one abstract register value.
-type aval struct {
-	k     avk
-	v     uint32
-	reloc bool
-}
-
-func top() aval              { return aval{} }
-func con(v uint32) aval      { return aval{k: avConst, v: v} }
-func conReloc(v uint32) aval { return aval{k: avConst, v: v, reloc: true} }
-func stk(delta int32) aval   { return aval{k: avStack, v: uint32(delta)} }
-func (a aval) delta() int32  { return int32(a.v) }
-func joinVal(a, b aval) aval {
-	if a == b {
-		return a
-	}
-	return top()
-}
+// The value lattice and per-instruction register transfer live in
+// internal/cfg, shared with the simulator's superblock compiler so the
+// two analyses cannot drift apart; this file keeps what is verifier-
+// specific: call-depth tracking, relocation provenance, and finding
+// emission from converged states.
 
 // astate is the abstract machine state at one program point: the eight
 // registers plus the call-depth interval [dlo, dhi] (CALLs minus RETs
 // since entry).
 type astate struct {
-	regs     [isa.NumRegs]aval
+	regs     cfg.Regs
 	dlo, dhi int32
 }
 
 func joinState(a, b astate) astate {
 	var out astate
 	for i := range a.regs {
-		out.regs[i] = joinVal(a.regs[i], b.regs[i])
+		out.regs[i] = cfg.Join(a.regs[i], b.regs[i])
 	}
 	out.dlo = min32(a.dlo, b.dlo)
 	out.dhi = max32(a.dhi, b.dhi)
@@ -93,7 +66,7 @@ func (v *verifier) interpret() {
 	// may be re-entered with a restored context), except that SP starts
 	// at the initial stack top.
 	var entry astate
-	entry.regs[isa.SP] = stk(0)
+	entry.regs[isa.SP] = cfg.StackValue(0)
 
 	// maxFrames bounds the call-depth interval: one return address per
 	// frame is the floor, so more frames than stack words is already
@@ -191,125 +164,31 @@ func (v *verifier) flow(off uint32, d decoded, pre, post astate, propagate func(
 }
 
 // spAdd offsets a stack-relative value; anything else degrades to Top.
-func spAdd(a aval, delta int32) aval {
-	switch a.k {
-	case avStack:
-		return stk(a.delta() + delta)
-	case avConst:
-		return con(a.v + uint32(delta))
+// Unlike cfg.Add it deliberately drops relocation provenance on
+// constants: a relocated value used as SP is already suspicious enough
+// that the absolute-address checks should see it.
+func spAdd(a cfg.Value, delta int32) cfg.Value {
+	switch a.K {
+	case cfg.Stack:
+		return cfg.StackValue(a.Delta() + delta)
+	case cfg.Const:
+		return cfg.ConstValue(a.V + uint32(delta))
 	}
-	return top()
+	return cfg.TopValue()
 }
 
-// transfer computes the post-state of one instruction. It never emits
-// findings (checkInsn does, from converged states).
+// transfer computes the post-state of one instruction. Register effects
+// come from the shared cfg lattice; only the call-depth interval (RET)
+// is verifier-specific. It never emits findings (checkInsn does, from
+// converged states).
 func (v *verifier) transfer(in isa.Instruction, off uint32, st astate) astate {
 	out := st
-	set := func(r isa.Reg, a aval) { out.regs[r] = a }
-	switch in.Op {
-	case isa.OpMOV:
-		set(in.Rd, st.regs[in.Rs])
-	case isa.OpLDI:
-		set(in.Rd, con(uint32(int32(in.Imm))))
-	case isa.OpLUI:
-		set(in.Rd, con(uint32(uint16(in.Imm))<<16))
-	case isa.OpLDI32:
-		if v.relocatedImm(off) {
-			set(in.Rd, conReloc(in.Imm32))
-		} else {
-			set(in.Rd, con(in.Imm32))
-		}
-	case isa.OpLD, isa.OpLDB:
-		set(in.Rd, top())
-	case isa.OpADD:
-		set(in.Rd, aAdd(st.regs[in.Rd], st.regs[in.Rs]))
-	case isa.OpSUB:
-		if in.Rd == in.Rs {
-			set(in.Rd, con(0)) // clr idiom
-		} else {
-			set(in.Rd, aSub(st.regs[in.Rd], st.regs[in.Rs]))
-		}
-	case isa.OpADDI:
-		set(in.Rd, aAdd(st.regs[in.Rd], con(uint32(int32(in.Imm)))))
-	case isa.OpXOR:
-		if in.Rd == in.Rs {
-			set(in.Rd, con(0)) // clr idiom
-		} else {
-			set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a ^ b }))
-		}
-	case isa.OpAND:
-		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a & b }))
-	case isa.OpOR:
-		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a | b }))
-	case isa.OpSHL:
-		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a << (b & 31) }))
-	case isa.OpSHR:
-		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a >> (b & 31) }))
-	case isa.OpMUL:
-		set(in.Rd, aBits(st.regs[in.Rd], st.regs[in.Rs], func(a, b uint32) uint32 { return a * b }))
-	case isa.OpPUSH:
-		set(isa.SP, spAdd(st.regs[isa.SP], -4))
-	case isa.OpPOP:
-		set(in.Rd, top())
-		set(isa.SP, spAdd(out.regs[isa.SP], 4))
-	case isa.OpRET:
-		set(isa.SP, spAdd(st.regs[isa.SP], 4))
+	cfg.Transfer(in, &out.regs, in.Op == isa.OpLDI32 && v.relocatedImm(off))
+	if in.Op == isa.OpRET {
 		out.dlo = max32(out.dlo-1, 0)
 		out.dhi = max32(out.dhi-1, 0)
-	case isa.OpSVC:
-		// Service results land in r0/r1 (gettime, IPC lengths).
-		set(isa.R0, top())
-		set(isa.R1, top())
-	case isa.OpRDCYC:
-		set(in.Rd, top())
 	}
 	return out
-}
-
-// aAdd adds two abstract values. Adding a plain constant to a relocated
-// address keeps the relocation provenance (pointer arithmetic within
-// the image); adding two pointers is meaningless and degrades to Top.
-func aAdd(a, b aval) aval {
-	switch {
-	case a.k == avStack && b.k == avConst && !b.reloc:
-		return stk(a.delta() + int32(b.v))
-	case b.k == avStack && a.k == avConst && !a.reloc:
-		return stk(b.delta() + int32(a.v))
-	case a.k == avConst && b.k == avConst:
-		if a.reloc && b.reloc {
-			return top()
-		}
-		return aval{k: avConst, v: a.v + b.v, reloc: a.reloc || b.reloc}
-	}
-	return top()
-}
-
-// aSub subtracts abstract values: pointer−constant stays a pointer,
-// pointer−pointer is a plain distance, constant−pointer is opaque.
-func aSub(a, b aval) aval {
-	if a.k == avStack && b.k == avConst && !b.reloc {
-		return stk(a.delta() - int32(b.v))
-	}
-	if a.k != avConst || b.k != avConst {
-		return top()
-	}
-	switch {
-	case a.reloc && b.reloc:
-		return con(a.v - b.v)
-	case !a.reloc && b.reloc:
-		return top()
-	default:
-		return aval{k: avConst, v: a.v - b.v, reloc: a.reloc}
-	}
-}
-
-// aBits applies a bitwise/multiplicative op: only meaningful on two
-// plain constants (masking a pointer yields an unpredictable address).
-func aBits(a, b aval, f func(a, b uint32) uint32) aval {
-	if a.k == avConst && !a.reloc && b.k == avConst && !b.reloc {
-		return con(f(a.v, b.v))
-	}
-	return top()
 }
 
 // checkInsn emits the access, syscall and stack-discipline findings for
@@ -349,16 +228,16 @@ func (v *verifier) checkInsn(in isa.Instruction, off uint32, st astate, maxFrame
 
 // checkAccess validates one memory access given the abstract base
 // value. sz is the access width in bytes; store distinguishes writes.
-func (v *verifier) checkAccess(off uint32, in isa.Instruction, base aval, imm int16, sz uint32, store bool) {
+func (v *verifier) checkAccess(off uint32, in isa.Instruction, base cfg.Value, imm int16, sz uint32, store bool) {
 	dis := in.String()
-	switch base.k {
-	case avTop:
+	switch base.K {
+	case cfg.Top:
 		return
 
-	case avStack:
+	case cfg.Stack:
 		// Image offset of the access, relative to base 0: the initial
 		// SP sits at loadSize.
-		soff := int64(v.stackTop) + int64(base.delta()) + int64(imm)
+		soff := int64(v.stackTop) + int64(base.Delta()) + int64(imm)
 		if soff < int64(v.stackLow) {
 			v.add(off, Warning, "stack-oob",
 				fmt.Sprintf("SP-relative access %d bytes below the %d-byte stack reservation", int64(v.stackLow)-soff, v.im.StackSize), dis)
@@ -367,11 +246,11 @@ func (v *verifier) checkAccess(off uint32, in isa.Instruction, base aval, imm in
 				"SP-relative access beyond the task's memory region", dis)
 		}
 
-	case avConst:
-		if base.reloc {
+	case cfg.Const:
+		if base.Reloc {
 			// Image-relative address: the loader adds the (granule-
 			// aligned) base, so alignment and extent are decidable.
-			eff := int64(base.v) + int64(imm)
+			eff := int64(base.V) + int64(imm)
 			if sz == 4 && eff%4 != 0 {
 				v.addGuaranteed(off, Error, "misaligned-access",
 					fmt.Sprintf("32-bit access at image offset %#x is not word-aligned (bus error)", eff), dis)
@@ -393,7 +272,7 @@ func (v *verifier) checkAccess(off uint32, in isa.Instruction, base aval, imm in
 		// Absolute address (a non-relocated constant: MMIO registers,
 		// or a position-dependent RAM address — suspicious in a
 		// relocatable image).
-		addr := uint32(int64(base.v) + int64(imm))
+		addr := uint32(int64(base.V) + int64(imm))
 		switch {
 		case addr >= machine.MMIOBase:
 			if sz == 1 {

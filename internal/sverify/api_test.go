@@ -1,0 +1,118 @@
+package sverify
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestBuildCFGShape checks blocks, leaders and edges on a small
+// program with a loop, a call and an unreachable tail.
+func TestBuildCFGShape(t *testing.T) {
+	// word 0: LDI r0, 3        } block 0
+	// word 1: CMPI r0, 0       }
+	// word 2: BEQ +2  -> word 5
+	// word 3: ADDI r0, -1      } block 1
+	// word 4: JMP -4  -> word 1 (back edge into block 1's... word 1)
+	// word 5: HLT              } block 3
+	// word 6: NOP (unreachable)
+	text := code(
+		isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: 3},
+		isa.Instruction{Op: isa.OpCMPI, Rd: isa.R0, Imm: 0},
+		isa.Instruction{Op: isa.OpBEQ, Imm: 2},
+		isa.Instruction{Op: isa.OpADDI, Rd: isa.R0, Imm: -1},
+		isa.Instruction{Op: isa.OpJMP, Imm: -4},
+		isa.Instruction{Op: isa.OpHLT},
+		isa.Instruction{Op: isa.OpNOP},
+	)
+	g := BuildCFG(mkimg(0, text), Config{})
+	// Leaders: 0 (entry), 4 (JMP target), 12 (BEQ fallthrough),
+	// 20 (BEQ target). The unreachable NOP contributes nothing.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	if g.Entry != 0 {
+		t.Fatalf("entry = %d", g.Entry)
+	}
+	wantStarts := []uint32{0, 4, 12, 20}
+	for i, b := range g.Blocks {
+		if b.ID != i || b.Start != wantStarts[i] {
+			t.Fatalf("block %d = %+v, want start %#x", i, b, wantStarts[i])
+		}
+	}
+	// Block 0: [LDI] runs into leader at 4; falls through.
+	if b := g.Block(0); b.Insns != 1 || b.Term != isa.OpNOP || !reflect.DeepEqual(b.Succs, []int{1}) {
+		t.Fatalf("block 0 = %+v", b)
+	}
+	// Block 1: [CMPI, BEQ] -> fallthrough block 2 and target block 3.
+	if b := g.Block(1); b.Insns != 2 || b.Term != isa.OpBEQ || !reflect.DeepEqual(b.Succs, []int{2, 3}) {
+		t.Fatalf("block 1 = %+v", b)
+	}
+	// Block 2: [ADDI, JMP] -> back to block 1.
+	if b := g.Block(2); b.Insns != 2 || b.Term != isa.OpJMP || !reflect.DeepEqual(b.Succs, []int{1}) {
+		t.Fatalf("block 2 = %+v", b)
+	}
+	// Block 3: [HLT] -> nothing.
+	if b := g.Block(3); b.Insns != 1 || b.Term != isa.OpHLT || len(b.Succs) != 0 {
+		t.Fatalf("block 3 = %+v", b)
+	}
+}
+
+// TestBuildCFGCall checks CALL contributes both the callee edge and the
+// return-point edge, and RET/JR contribute none.
+func TestBuildCFGCall(t *testing.T) {
+	// word 0: CALL +1 -> word 2
+	// word 1: HLT
+	// word 2: RET
+	text := code(
+		isa.Instruction{Op: isa.OpCALL, Imm: 1},
+		isa.Instruction{Op: isa.OpHLT},
+		isa.Instruction{Op: isa.OpRET},
+	)
+	g := BuildCFG(mkimg(0, text), Config{})
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	if b := g.Block(0); b.Term != isa.OpCALL || !reflect.DeepEqual(b.Succs, []int{1, 2}) {
+		t.Fatalf("call block = %+v", b)
+	}
+	if b := g.Block(2); b.Term != isa.OpRET || len(b.Succs) != 0 {
+		t.Fatalf("ret block = %+v", b)
+	}
+}
+
+// TestBuildCFGCountsMatchVerify pins the exported CFG to the block
+// count Verify reports, on a program with branches and a loop.
+func TestBuildCFGCountsMatchVerify(t *testing.T) {
+	text := code(
+		isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: 3},
+		isa.Instruction{Op: isa.OpCMPI, Rd: isa.R0, Imm: 0},
+		isa.Instruction{Op: isa.OpBEQ, Imm: 2},
+		isa.Instruction{Op: isa.OpADDI, Rd: isa.R0, Imm: -1},
+		isa.Instruction{Op: isa.OpJMP, Imm: -4},
+		isa.Instruction{Op: isa.OpHLT},
+	)
+	im := mkimg(0, text)
+	rep := Verify(im, Config{})
+	g := BuildCFG(im, Config{})
+	if rep.Blocks != len(g.Blocks) {
+		t.Fatalf("Verify counts %d blocks, BuildCFG has %d", rep.Blocks, len(g.Blocks))
+	}
+}
+
+// TestBuildCFGUndecodableLeader: a block whose leader does not decode
+// has zero instructions and no successors.
+func TestBuildCFGUndecodableLeader(t *testing.T) {
+	text := code(
+		isa.Instruction{Op: isa.OpJMP, Imm: 0}, // word 0 -> word 1
+	)
+	text = append(text, 0xFF, 0xFF, 0xFF, 0xFF) // word 1: garbage
+	g := BuildCFG(mkimg(0, text), Config{})
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	if b := g.Block(1); b.Insns != 0 || len(b.Succs) != 0 {
+		t.Fatalf("undecodable block = %+v", b)
+	}
+}

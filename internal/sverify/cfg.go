@@ -320,14 +320,16 @@ func (v *verifier) traverse() {
 	}
 }
 
-// countBlocks counts basic blocks among the reachable instructions:
-// leaders are the entry point, every branch target, and every
-// fallthrough successor of a control-transfer instruction.
-func (v *verifier) countBlocks() int {
+// leaders computes the basic-block leader set among the reachable
+// instructions: the entry point, every static branch target, and every
+// fallthrough successor of a control-transfer instruction. Only offsets
+// actually reached are included.
+func (v *verifier) leaders() map[uint32]bool {
+	leaders := make(map[uint32]bool)
 	if len(v.reach) == 0 {
-		return 0
+		return leaders
 	}
-	leaders := map[uint32]bool{v.im.Entry: true}
+	leaders[v.im.Entry] = true
 	for off, d := range v.reach {
 		if !d.ok {
 			continue
@@ -349,14 +351,16 @@ func (v *verifier) countBlocks() int {
 			}
 		}
 	}
-	n := 0
 	for off := range leaders {
-		if _, ok := v.reach[off]; ok {
-			n++
+		if _, ok := v.reach[off]; !ok {
+			delete(leaders, off)
 		}
 	}
-	return n
+	return leaders
 }
+
+// countBlocks counts the basic blocks the reachable instructions form.
+func (v *verifier) countBlocks() int { return len(v.leaders()) }
 
 // mustPath computes the set of offsets certain to execute when the task
 // is entered at its entry point: the straight-line prefix through
