@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos trace-check slo-check bench-check check bench tables interp-bench latency-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check check bench tables interp-bench latency-bench clean
 
 all: build
 
@@ -51,10 +51,19 @@ slo-check:
 bench-check:
 	$(GO) test -race -v -run 'TestBenchCheck' ./cmd/tytan-bench/
 
+# scenario-check runs the secure-update robustness matrix: every named
+# scenario (update under load, update under fault injection, downgrade
+# attack, corrupt image, power failure at every swap phase, quarantined
+# identity) across the fixed seed matrix, cells in parallel under
+# -race, with per-scenario SLO verdicts; two full runs must render
+# byte-identical reports.
+scenario-check:
+	$(GO) test -race -v -run 'TestScenarioCheck' ./internal/benchlab/
+
 # check is the gate CI and pre-commit should run: build, vet, lint, the
 # full test suite under the race detector, the chaos scenario, and the
-# observability, SLO and engine benchmark gates.
-check: build vet lint race chaos trace-check slo-check bench-check
+# observability, SLO, engine benchmark and update-scenario gates.
+check: build vet lint race chaos trace-check slo-check bench-check scenario-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

@@ -12,6 +12,12 @@
 //	tytan-sim -trace t.json task.telf    # export a Chrome trace of the run
 //	tytan-sim -metrics m.prom task.telf  # export Prometheus-style metrics
 //	tytan-sim -profile - task.telf       # print the cycle-attribution profile
+//
+// Secure update (build side and device side):
+//
+//	tytan-sim update sign -version 2 task.telf   # sign task.telf -> task.telf.upd
+//	tytan-sim update info task.telf.upd          # inspect a package, no keys
+//	tytan-sim -update task.telf.upd task.telf    # apply the update mid-run
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/rtos"
 	"repro/internal/telf"
 	"repro/internal/trace"
 	"repro/internal/trusted"
@@ -50,10 +57,23 @@ type config struct {
 	// periodic deadline (cycles) registered for every loaded task.
 	sloPath  string
 	deadline uint64
-	files    []string
+	// Secure update: package path applied mid-run, and when (ms of
+	// simulated time; 0 = halfway through the run).
+	updatePath string
+	updateAtMS float64
+	files      []string
 }
 
 func main() {
+	// The "update" subcommand family runs before flag parsing: its verbs
+	// carry their own flag sets.
+	if len(os.Args) > 1 && os.Args[1] == "update" {
+		if err := runUpdateCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tytan-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg config
 	flag.BoolVar(&cfg.describe, "describe", false, "print the booted platform's component map and exit")
 	flag.Float64Var(&cfg.ms, "ms", 100, "simulated milliseconds to run")
@@ -70,6 +90,8 @@ func main() {
 	flag.StringVar(&cfg.profilePath, "profile", "", `export the cycle-attribution profile (cycles per task and per load phase) to this file ("-" = stdout)`)
 	flag.StringVar(&cfg.sloPath, "slo", "", `verify the run against an SLO spec file (see internal/analyze): rules are monitored online, the verdict printed after the run, and a violated spec makes the exit status non-zero`)
 	flag.Uint64Var(&cfg.deadline, "deadline", 0, "register a periodic deadline of N cycles for every loaded task; misses are stamped as deadline-miss events")
+	flag.StringVar(&cfg.updatePath, "update", "", `apply a signed update package (see "tytan-sim update sign") mid-run to the loaded task with the package's task name; a refused update (bad signature, downgrade, corruption, quarantine) makes the exit status non-zero`)
+	flag.Float64Var(&cfg.updateAtMS, "update-at-ms", 0, "simulated time at which -update fires (0 = halfway through -ms)")
 	flag.Parse()
 	cfg.files = flag.Args()
 
@@ -191,10 +213,29 @@ func run(cfg config) error {
 		return fmt.Errorf("no task images given (or use -describe)")
 	}
 
+	var update *telf.SignedImage
+	var updatePkg []byte
+	if cfg.updatePath != "" {
+		if cfg.baseline {
+			return fmt.Errorf("-update needs the trusted platform (drop -baseline)")
+		}
+		updatePkg, err = os.ReadFile(cfg.updatePath)
+		if err != nil {
+			return fmt.Errorf("-update: %w", err)
+		}
+		// Structural decode only — signature and counter enforcement
+		// happen inside the trusted update service when it is applied.
+		update, err = telf.DecodeSigned(updatePkg)
+		if err != nil {
+			return fmt.Errorf("-update: %s: %w", cfg.updatePath, err)
+		}
+	}
+
 	kind := core.Secure
 	if cfg.normal || cfg.baseline {
 		kind = core.Normal
 	}
+	byName := make(map[string]rtos.TaskID)
 	var targets []faultinject.TargetRange
 	for _, f := range cfg.files {
 		blob, err := os.ReadFile(f)
@@ -214,6 +255,7 @@ func run(cfg config) error {
 		} else {
 			fmt.Printf("loaded %q as task %d at %#x\n", im.Name, tcb.ID, tcb.Placement.Base)
 		}
+		byName[im.Name] = tcb.ID
 		if inj != nil {
 			targets = append(targets, faultinject.TargetRange{
 				Start: tcb.Placement.Base,
@@ -232,16 +274,15 @@ func run(cfg config) error {
 	}
 
 	cycles := machine.MillisToCycles(cfg.ms)
-	if inj == nil {
-		if err := p.Run(cycles); err != nil {
-			return err
+	runFor := func(budget uint64) error {
+		if inj == nil {
+			return p.Run(budget)
 		}
-	} else {
 		// Inject at slice boundaries so fault timing derives only from
 		// the seed and the cycle counter. The budget is relative, like
 		// the un-injected path: loading happens before the clock starts.
 		const slice = 20_000
-		end := p.Cycles() + cycles
+		end := p.Cycles() + budget
 		for p.Cycles() < end {
 			if err := p.Run(slice); err != nil {
 				return err
@@ -249,6 +290,29 @@ func run(cfg config) error {
 			if err := inj.Advance(p.M); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	if update == nil {
+		if err := runFor(cycles); err != nil {
+			return err
+		}
+	} else {
+		at := machine.MillisToCycles(cfg.updateAtMS)
+		if cfg.updateAtMS == 0 {
+			at = cycles / 2
+		}
+		if at > cycles {
+			at = cycles
+		}
+		if err := runFor(at); err != nil {
+			return err
+		}
+		if err := applyMidRunUpdate(p, update, updatePkg, byName, cfg.deadline); err != nil {
+			return err
+		}
+		if err := runFor(cycles - at); err != nil {
+			return err
 		}
 	}
 

@@ -14,6 +14,11 @@
 //	              exporter output — Go randomizes map iteration order,
 //	              so the output order changes run to run (collect keys,
 //	              sort, then emit).
+//	rawdecode     telf.Decode inside an update-path function (name
+//	              contains "update") — update packages must go through
+//	              telf.DecodeSigned + Verify so the signature, version
+//	              manifest and payload digest are enforced; a raw
+//	              Decode there is a verification bypass.
 //
 // A finding is waived by a `//tytan:allow <pass>` comment on the same
 // line or the line above, for the rare case where host time or map
@@ -169,6 +174,7 @@ func (v *vetter) checkDir(dir string) error {
 		v.hosttime(f, info, waived)
 		v.unseededrand(f, info, waived)
 		v.maprange(f, info, waived)
+		v.rawdecode(f, info, waived)
 	}
 	return nil
 }
@@ -264,6 +270,41 @@ func (v *vetter) unseededrand(f *ast.File, info *types.Info, waived map[int]map[
 			fmt.Sprintf("package-level %s.%s uses the process-global random source; use an explicitly seeded generator", p, fn.Name()), waived)
 		return true
 	})
+}
+
+// rawdecode flags direct telf.Decode calls inside update-path functions
+// (any function whose name contains "update", case-insensitive). Update
+// paths must consume packages through telf.DecodeSigned and Verify so
+// the manifest's signature, version and payload digest are enforced; a
+// raw Decode there accepts arbitrary unsigned bytes. The build-system
+// side (signing a raw image into a package) waives the finding with
+// `//tytan:allow rawdecode`.
+func (v *vetter) rawdecode(f *ast.File, info *types.Info, waived map[int]map[string]bool) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if !strings.Contains(strings.ToLower(fd.Name.Name), "update") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Name() != "Decode" || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "repro/internal/telf" && filepath.Base(path) != "telf" {
+				return true
+			}
+			v.report(sel.Pos(), "rawdecode",
+				"telf.Decode in an update path bypasses the signed manifest; use telf.DecodeSigned and Verify", waived)
+			return true
+		})
+	}
 }
 
 // outputCallNames are the calls that make a loop body order-sensitive:

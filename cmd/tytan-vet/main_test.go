@@ -50,6 +50,33 @@ func TestFixtureFindings(t *testing.T) {
 	}
 }
 
+// TestUpdateFixtureFindings pins the rawdecode pass against the updpkg
+// fixture: the raw decode in an update path is flagged, the
+// DecodeSigned idiom, the non-update caller and the waived build-side
+// decode are not.
+func TestUpdateFixtureFindings(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{filepath.Join("testdata", "src", "updpkg")}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	got := out.String()
+	if n := strings.Count(got, "[rawdecode]"); n != 1 {
+		t.Errorf("rawdecode findings = %d, want 1\n%s", n, got)
+	}
+	if !strings.Contains(got, "upd.go:14") {
+		t.Errorf("ApplyUpdateBad's decode not flagged:\n%s", got)
+	}
+	for _, frag := range []string{"upd.go:19", "upd.go:28", "upd.go:34"} {
+		if strings.Contains(got, frag) {
+			t.Errorf("clean or waived line %s flagged:\n%s", frag, got)
+		}
+	}
+}
+
 // TestRepoClean pins the satellite requirement: the tool's own passes
 // over internal/... report nothing (every real finding was fixed or
 // explicitly waived).

@@ -1,0 +1,35 @@
+// Package updpkg is the rawdecode fixture: telf.Decode in update-path
+// functions is a signature bypass and must be flagged, while the
+// DecodeSigned idiom, non-update callers and the explicit waiver stay
+// clean.
+package updpkg
+
+import (
+	"repro/internal/telf"
+)
+
+// ApplyUpdateBad consumes a package with a raw decode — no signature,
+// no version manifest, no digest check (rawdecode finding).
+func ApplyUpdateBad(pkg []byte) (*telf.Image, error) {
+	return telf.Decode(pkg)
+}
+
+// ApplyUpdateGood goes through the signed manifest — clean.
+func ApplyUpdateGood(pkg []byte) (*telf.Image, error) {
+	s, err := telf.DecodeSigned(pkg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Image, nil
+}
+
+// LoadImage is not an update path; raw decodes are its job — clean.
+func LoadImage(blob []byte) (*telf.Image, error) {
+	return telf.Decode(blob)
+}
+
+// SignUpdateTool is the build side: it must read the raw image it is
+// about to sign, and says so — waived.
+func SignUpdateTool(blob []byte) (*telf.Image, error) {
+	return telf.Decode(blob) //tytan:allow rawdecode: build side consumes the unsigned input
+}

@@ -1,0 +1,68 @@
+package benchlab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScenarioCheck is the `make scenario-check` gate: the full update
+// scenario matrix passes, and two complete runs — cells executing in
+// parallel, under the race detector — render byte-identical reports.
+func TestScenarioCheck(t *testing.T) {
+	short := testing.Short()
+	a := RunScenarioMatrix(short)
+	var bufA bytes.Buffer
+	if err := a.WriteText(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("matrix report:\n%s", bufA.String())
+	if !a.Pass() {
+		t.Fatal("scenario matrix failed (report above)")
+	}
+
+	b := RunScenarioMatrix(short)
+	var bufB bytes.Buffer
+	if err := b.WriteText(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Pass() {
+		t.Fatal("second matrix run failed")
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Errorf("matrix reports diverged between runs:\n--- A ---\n%s\n--- B ---\n%s",
+			bufA.String(), bufB.String())
+	}
+}
+
+// TestScenarioMatrixShape: every declared scenario appears once per
+// seed, in declaration order, and the report names each cell.
+func TestScenarioMatrixShape(t *testing.T) {
+	scens := UpdateScenarios()
+	seeds := ScenarioSeeds(true)
+	rep := RunScenarioMatrix(true)
+	if want := len(scens) * len(seeds); len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	for si, s := range scens {
+		for ki, seed := range seeds {
+			c := rep.Cells[si*len(seeds)+ki]
+			if c.Scenario != s.Name || c.Seed != seed {
+				t.Errorf("cell %d = (%s, %#x), want (%s, %#x)",
+					si*len(seeds)+ki, c.Scenario, c.Seed, s.Name, seed)
+			}
+			if len(c.SLO) == 0 {
+				t.Errorf("cell %s/%#x has no SLO verdicts", c.Scenario, c.Seed)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scens {
+		if !strings.Contains(buf.String(), s.Name) {
+			t.Errorf("report missing scenario %q", s.Name)
+		}
+	}
+}

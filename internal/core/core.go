@@ -146,6 +146,9 @@ type Platform struct {
 	loader    *loaderService
 	loaderTCB *rtos.TCB
 
+	// updater is the secure update service; nil until EnableSecureUpdate.
+	updater *trusted.Updater
+
 	platformKey []byte
 	provider    string
 	staticOnly  bool

@@ -81,6 +81,9 @@ func (p *Platform) EnableObservability(extra ...trace.Sink) *Obs {
 	if p.Sup != nil {
 		p.Sup.Obs = sink
 	}
+	if p.updater != nil {
+		p.updater.Obs = sink
+	}
 	p.obsHandle = o
 	return o
 }
@@ -175,6 +178,15 @@ func (o *Obs) registerGauges() {
 		func() uint64 { return p.supCounts().Quarantines })
 	r.Gauge("tytan_sup_watchdog_kills", "Watchdog kills (hangs and quota).",
 		func() uint64 { return p.supCounts().WatchdogKills })
+
+	// Secure update decisions, read through the platform so enabling the
+	// update service after observability still reports.
+	r.Gauge("tytan_update_accepted", "Secure updates accepted and committed.",
+		func() uint64 { return p.updateCounts().Accepted })
+	r.Gauge("tytan_update_denied", "Secure updates refused before any state change.",
+		func() uint64 { return p.updateCounts().Denied })
+	r.Gauge("tytan_update_rolled_back", "Secure updates unwound after a mid-swap fault.",
+		func() uint64 { return p.updateCounts().RolledBack })
 }
 
 // supCounts reads the supervisor counters, zero when supervision is
@@ -184,6 +196,15 @@ func (p *Platform) supCounts() trusted.SupCounts {
 		return trusted.SupCounts{}
 	}
 	return p.Sup.Counts()
+}
+
+// updateCounts reads the update-service counters, zero when the service
+// is not enabled.
+func (p *Platform) updateCounts() trusted.UpdateCounts {
+	if p.updater == nil {
+		return trusted.UpdateCounts{}
+	}
+	return p.updater.Counts()
 }
 
 // Events returns a copy of the collected event stream.

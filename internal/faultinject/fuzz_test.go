@@ -1,0 +1,58 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec: no input crashes the spec parser, and every accepted
+// spec round-trips — ParseSpec(cfg.String()) reproduces cfg exactly and
+// String is a fixpoint. The spec format is attacker-adjacent surface:
+// it arrives via tytan-sim's -faults flag and the scenario matrix.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"seed=1",
+		"seed=0",
+		"seed=0x10,classes=bitflips+rogues,period=3,burst=2",
+		"seed=42,classes=connfaults",
+		"seed=7,period=120000",
+		"seed=0xDEADBEEF,classes=bitflips+irqstorms+rogues+connfaults,burst=9",
+		"classes=irqstorms,seed=5",
+		"seed=18446744073709551615",
+		"burst=0x7",
+		"seed==1",
+		"seed=1,classes=none",
+		"seed=1,,period=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			// Rejected inputs must say what was wrong, not just fail.
+			if !strings.Contains(err.Error(), "faultinject:") {
+				t.Errorf("error %q lacks the package prefix", err)
+			}
+			return
+		}
+		// An accepted spec always has a concrete class set (the default
+		// fills in when the key is absent), so String never renders the
+		// ambiguous class-free form.
+		if cfg.Classes == 0 {
+			t.Fatalf("ParseSpec(%q) accepted a zero class set", spec)
+		}
+		rendered := cfg.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok, but re-parsing its rendering %q failed: %v",
+				spec, rendered, err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed the config: %q -> %+v -> %q -> %+v",
+				spec, cfg, rendered, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String not a fixpoint: %q then %q", rendered, again)
+		}
+	})
+}

@@ -203,6 +203,18 @@ const (
 	CostStorageLookup    = 240  // slot lookup in the storage index
 )
 
+// Secure update service. HMAC signature verification dominates, so the
+// per-block rate matches the measurement engine (one SHA-1 compression
+// per 64-byte block); the fixed parts cover manifest parsing, the
+// monotonic-counter compare, and the swap bookkeeping around the
+// suspend/resume + registry costs charged by the primitives themselves.
+const (
+	CostUpdateVerifyBase     = 860  // manifest parse + header checks
+	CostUpdateVerifyPerBlock = 3936 // HMAC/digest over one 64-byte block
+	CostUpdateCounter        = 410  // monotonic-counter compare + encode
+	CostUpdateSwap           = 750  // swap bookkeeping around the task exchange
+)
+
 // CyclesToNanos converts a cycle count to nanoseconds at ClockHz.
 func CyclesToNanos(cycles uint64) uint64 {
 	return cycles * 1_000_000_000 / ClockHz

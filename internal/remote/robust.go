@@ -30,6 +30,10 @@ var (
 	// ErrErrorBudget means a connection produced more protocol errors
 	// than the server tolerates and was dropped.
 	ErrErrorBudget = errors.New("remote: connection error budget exhausted")
+	// ErrRetryBudget means AttestRetry's wall budget would be exceeded
+	// by the next backoff sleep, so the loop gave up before using its
+	// full attempt count. The last transport error is wrapped alongside.
+	ErrRetryBudget = errors.New("remote: retry wall budget exhausted")
 )
 
 // wrapTimeout rewraps network timeout errors in ErrTimeout, leaving
@@ -124,6 +128,12 @@ type RetryConfig struct {
 	Backoff time.Duration
 	// Timeout bounds each attempt's I/O (0 = DefaultIOTimeout).
 	Timeout time.Duration
+	// WallBudget bounds the total time the loop may spend in backoff
+	// sleeps across all attempts (0 = unbounded). The budget is
+	// accounted from the backoff schedule itself, never from a host
+	// clock read, so retry behaviour stays deterministic under test
+	// fakes and inside the simulator's determinism vet.
+	WallBudget time.Duration
 	// Sleep is injectable for tests (nil = time.Sleep).
 	Sleep func(time.Duration)
 	// Stats, when non-nil, accumulates retry accounting.
@@ -152,15 +162,26 @@ func (c RetryConfig) withDefaults() RetryConfig {
 // satisfy a later one), and bounds its I/O with a deadline. Transport
 // and protocol failures are retried with exponential backoff; an
 // authoritative device answer — a verified quote or an explicit device
-// error (ErrRemote) — ends the loop immediately. Returns the quote, the
-// number of attempts used, and the final error.
+// error (ErrRemote) — ends the loop immediately. When cfg.WallBudget is
+// set, the loop additionally refuses to start a backoff sleep that
+// would push the accumulated backoff past the budget, failing with
+// ErrRetryBudget instead. Returns the quote, the number of attempts
+// used, and the final error.
 func AttestRetry(dial func() (net.Conn, error), v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64, cfg RetryConfig) (trusted.Quote, int, error) {
 	cfg = cfg.withDefaults()
 	var lastErr error
+	var slept time.Duration
 	backoff := cfg.Backoff
 	for attempt := 0; attempt < cfg.Attempts; attempt++ {
 		if attempt > 0 {
+			if cfg.WallBudget > 0 && slept+backoff > cfg.WallBudget {
+				err := fmt.Errorf("%w after %d of %d attempts (%v backoff spent, %v budget): %w",
+					ErrRetryBudget, attempt, cfg.Attempts, slept, cfg.WallBudget, lastErr)
+				cfg.Stats.record(attempt, err)
+				return trusted.Quote{}, attempt, err
+			}
 			cfg.Sleep(backoff)
+			slept += backoff
 			backoff *= 2
 		}
 		conn, err := dial()

@@ -183,3 +183,66 @@ func TestAttestRetryExhausts(t *testing.T) {
 		t.Errorf("attempts = %d, dials = %d, want 3", attempts, *dials)
 	}
 }
+
+// TestAttestRetryWallBudget: against a dead network the loop stops as
+// soon as the next backoff sleep would exceed the wall budget —
+// typed as ErrRetryBudget, still wrapping the transport cause, and
+// never oversleeping the budget.
+func TestAttestRetryWallBudget(t *testing.T) {
+	p, e := devicePlatform(t)
+	v := p.VerifierForProvider("oem")
+	errDown := errors.New("network down")
+	dials := 0
+	dial := func() (net.Conn, error) {
+		dials++
+		return nil, errDown
+	}
+	var sleeps []time.Duration
+	// Backoff schedule 1,2,4,8… ms: 1ms and 2ms fit in the 4ms budget,
+	// the 4ms third sleep would total 7ms — refused.
+	_, attempts, err := AttestRetry(dial, v, "oem", e.ID, 1, RetryConfig{
+		Attempts:   8,
+		Backoff:    time.Millisecond,
+		WallBudget: 4 * time.Millisecond,
+		Sleep:      func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if !errors.Is(err, errDown) {
+		t.Errorf("budget error %v does not wrap the transport cause", err)
+	}
+	if attempts != 3 || dials != 3 {
+		t.Errorf("attempts = %d, dials = %d, want 3 (1ms+2ms spent, 4ms refused)", attempts, dials)
+	}
+	var total time.Duration
+	for _, d := range sleeps {
+		total += d
+	}
+	if total > 4*time.Millisecond {
+		t.Errorf("slept %v, more than the %v budget", total, 4*time.Millisecond)
+	}
+}
+
+// TestAttestRetryWallBudgetGenerous: a budget that covers the whole
+// schedule changes nothing — flaky dials still recover.
+func TestAttestRetryWallBudgetGenerous(t *testing.T) {
+	p, e := devicePlatform(t)
+	v := p.VerifierForProvider("oem")
+	dial, dials := pipeDialer(ComponentsAttestor{C: p.C}, 2)
+	q, attempts, err := AttestRetry(dial, v, "oem", e.ID, 50, RetryConfig{
+		Attempts:   4,
+		Backoff:    time.Millisecond,
+		WallBudget: time.Second,
+		Sleep:      func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("retry failed under a generous budget: %v", err)
+	}
+	if attempts != 3 || *dials != 3 {
+		t.Errorf("attempts = %d, dials = %d, want 3", attempts, *dials)
+	}
+	if q.Nonce != 52 {
+		t.Errorf("nonce = %d, want 52", q.Nonce)
+	}
+}

@@ -45,6 +45,7 @@ const (
 	SubHarness
 	SubIPC
 	SubAnalyze
+	SubUpdate
 
 	numSubsystems
 )
@@ -52,6 +53,7 @@ const (
 var subsystemNames = [numSubsystems]string{
 	"machine", "kernel", "eampu", "loader", "supervisor",
 	"attest", "remote", "inject", "harness", "ipc", "analyze",
+	"update",
 }
 
 // String names the subsystem.
@@ -96,6 +98,13 @@ const (
 	KindSLOViolation             // an SLO rule was violated (online monitor)
 	KindVerifyDenied             // the pre-load static verifier rejected an image
 
+	// Secure-update decisions (SubUpdate). Every update request ends in
+	// exactly one of these three, so a verifier can audit the full
+	// update history from the event stream alone.
+	KindUpdateAccepted   // an update was verified, swapped in and re-attested
+	KindUpdateDenied     // an update was refused before any state changed (reason attr)
+	KindUpdateRolledBack // a mid-swap fault was unwound; the old task runs on
+
 	numKinds
 )
 
@@ -104,6 +113,7 @@ var kindNames = [numKinds]string{
 	"tick", "mutex", "load-phase", "eampu-violation", "supervisor",
 	"attest", "activation", "inject", "custom", "ipc",
 	"deadline-miss", "slo-violation", "verify-denied",
+	"update-accepted", "update-denied", "update-rolled-back",
 }
 
 // String names the kind.

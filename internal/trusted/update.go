@@ -1,0 +1,434 @@
+package trusted
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hcrypto"
+	"repro/internal/loader"
+	"repro/internal/machine"
+	"repro/internal/rtos"
+	"repro/internal/sha1"
+	"repro/internal/telf"
+	"repro/internal/trace"
+)
+
+// Updater is the secure update service: the field counterpart of the
+// secure loader. Installation proves *what* runs; update must also
+// prove the package is *authentic* (signature), *fresh* (monotonic
+// counter in sealed storage — rollback protection), and that a fault at
+// any point of the swap leaves the device on the old, still-attestable
+// version rather than bricked between two.
+//
+// The decision pipeline per request:
+//
+//	verify    manifest decode, HMAC signature, target-name match
+//	counter   quarantine check + sealed monotonic counter compare
+//	stage     load the new image into fresh memory (old task still runs)
+//	stop      suspend the old task — downtime starts here
+//	install   install/protect/measure/register the new task, suspended
+//	commit    advance the sealed counter, resume new, unload old
+//
+// then a fresh attestation quote over the new identity, so a remote
+// verifier observes the new measurement, never a stale one. A fault in
+// any phase before commit unwinds via loader.Job.Abort and resumes the
+// old task; the counter is only written in commit, so an unwound update
+// never burns a version number.
+//
+// Every request ends in exactly one typed trace event: update-accepted,
+// update-denied (with a reason attribute), or update-rolled-back (with
+// the faulting phase) — the audit trail a verifier replays.
+type Updater struct {
+	k        *rtos.Kernel
+	c        *Components
+	ku       []byte
+	provider string
+
+	// FaultHook, when set, is called on entry to every phase and may
+	// return an error to simulate a power failure or transient fault at
+	// that exact point of the swap — the chaos harness's injection
+	// point. A non-nil return aborts the update.
+	FaultHook func(UpdatePhase) error
+
+	// Obs, when set, receives the typed decision events.
+	Obs trace.Sink
+
+	counts UpdateCounts
+}
+
+// UpdatePhase names a point in the update pipeline, in execution order.
+type UpdatePhase uint8
+
+// Update pipeline phases.
+const (
+	UpdateVerify UpdatePhase = iota
+	UpdateCounter
+	UpdateStage
+	UpdateStop
+	UpdateInstall
+	UpdateCommit
+
+	numUpdatePhases
+)
+
+var updatePhaseNames = [numUpdatePhases]string{
+	"verify", "counter", "stage", "stop", "install", "commit",
+}
+
+// String names the phase.
+func (p UpdatePhase) String() string {
+	if int(p) < len(updatePhaseNames) {
+		return updatePhaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// UpdatePhases returns every pipeline phase in order — the chaos
+// harness iterates it to inject a fault at each point of the swap.
+func UpdatePhases() []UpdatePhase {
+	out := make([]UpdatePhase, numUpdatePhases)
+	for i := range out {
+		out[i] = UpdatePhase(i)
+	}
+	return out
+}
+
+// Update errors. Denials (nothing changed) wrap ErrUpdateDenied;
+// ErrUpdateAborted means a mid-swap fault was unwound and the old
+// version runs on.
+var (
+	ErrUpdateDenied          = errors.New("trusted: update denied")
+	ErrUpdateBadSignature    = fmt.Errorf("%w: bad signature", ErrUpdateDenied)
+	ErrUpdateDowngrade       = fmt.Errorf("%w: version not fresher than sealed counter", ErrUpdateDenied)
+	ErrUpdateCorrupt         = fmt.Errorf("%w: corrupt package", ErrUpdateDenied)
+	ErrUpdateQuarantined     = fmt.Errorf("%w: identity quarantined", ErrUpdateDenied)
+	ErrUpdateCounterTampered = fmt.Errorf("%w: version counter unreadable", ErrUpdateDenied)
+	ErrUpdateBadTarget       = fmt.Errorf("%w: no such secure task", ErrUpdateDenied)
+	ErrUpdateAborted         = errors.New("trusted: update aborted; previous version restored")
+)
+
+// Denial reason strings (trace attribute + counts key).
+const (
+	DenyBadSig        = "bad-sig"
+	DenyDowngrade     = "downgrade"
+	DenyCorrupt       = "corrupt"
+	DenyQuarantined   = "quarantined"
+	DenyCounterTamper = "counter-tamper"
+	DenyBadTarget     = "bad-target"
+)
+
+// UpdateCounts is the updater's monotonic decision accounting.
+type UpdateCounts struct {
+	Accepted   uint64
+	Denied     uint64
+	RolledBack uint64
+}
+
+// Counts returns the decision counters since boot.
+func (u *Updater) Counts() UpdateCounts { return u.counts }
+
+// UpdateLabel is the KDF label for update-signing keys.
+const UpdateLabel = "update"
+
+// DeriveUpdateKey derives a provider's update-signing key Ku from the
+// platform key — the same per-provider scheme as attestation keys, so
+// each stakeholder signs (and can only update) its own tasks.
+func DeriveUpdateKey(kp []byte, provider string) []byte {
+	return hcrypto.DeriveKey(kp, UpdateLabel, []byte(provider))
+}
+
+// CounterSlot maps a task name to its sealed version-counter slot —
+// deterministic, and far above the small slot numbers tasks use for
+// their own data.
+func CounterSlot(name string) uint32 {
+	// FNV-1a over the name, folded into a dedicated slot window.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return 0xFACE0000 | (h & 0xFFFF)
+}
+
+// UpdateReport describes an accepted update.
+type UpdateReport struct {
+	Task        string
+	Old, New    rtos.TaskID
+	OldIdentity sha1.Digest
+	NewIdentity sha1.Digest
+	FromVersion uint64 // sealed counter before the update (0 = none)
+	ToVersion   uint64
+	// DowntimeCycles is the window in which neither version was
+	// schedulable: old suspend through new resume.
+	DowntimeCycles uint64
+	// Quote is the fresh post-update attestation over the new identity.
+	Quote Quote
+	Nonce uint64
+}
+
+// NewUpdater creates the update service for the given provider context,
+// deriving Ku through the EA-MPU-guarded key path (the updater is a
+// crypto-capable trusted component, like Storage and Attest).
+func NewUpdater(k *rtos.Kernel, c *Components, provider string) (*Updater, error) {
+	kp, err := readPlatformKey(k.M, StorageBase)
+	if err != nil {
+		return nil, err
+	}
+	k.M.Charge(machine.CostStorageKeyDerive)
+	return &Updater{
+		k:        k,
+		c:        c,
+		ku:       DeriveUpdateKey(kp, provider),
+		provider: provider,
+	}, nil
+}
+
+// emit reports one decision event.
+func (u *Updater) emit(kind trace.Kind, subject string, attrs ...trace.Attr) {
+	if u.Obs == nil {
+		return
+	}
+	u.Obs.Emit(trace.Event{
+		Cycle: u.k.M.Cycles(), Sub: trace.SubUpdate,
+		Kind: kind, Subject: subject, Attrs: attrs,
+	})
+}
+
+// deny accounts and reports a refusal; nothing has changed on-device.
+func (u *Updater) deny(task, reason string, version uint64, err error) error {
+	u.counts.Denied++
+	u.emit(trace.KindUpdateDenied, task,
+		trace.Str("reason", reason), trace.Num("version", version))
+	return err
+}
+
+// rollBack accounts and reports an unwound mid-swap fault.
+func (u *Updater) rollBack(task string, phase UpdatePhase, version uint64, cause error) error {
+	u.counts.RolledBack++
+	u.emit(trace.KindUpdateRolledBack, task,
+		trace.Str("phase", phase.String()), trace.Num("version", version))
+	return fmt.Errorf("%w (phase %s): %v", ErrUpdateAborted, phase, cause)
+}
+
+// enter runs the fault hook for a phase.
+func (u *Updater) enter(phase UpdatePhase) error {
+	if u.FaultHook == nil {
+		return nil
+	}
+	return u.FaultHook(phase)
+}
+
+// Apply runs the full update pipeline: replace the secure task id with
+// the signed package pkg, then re-attest the result under nonce. On a
+// denial or an aborted swap the old task is untouched (and, if it was
+// stopped, resumed) — Apply never leaves the device without a runnable
+// version of the task.
+func (u *Updater) Apply(id rtos.TaskID, pkg []byte, nonce uint64) (*UpdateReport, error) {
+	m := u.k.M
+
+	old, ok := u.k.Task(id)
+	if !ok || old.Kind != rtos.KindSecure {
+		return nil, u.deny("?", DenyBadTarget, 0, ErrUpdateBadTarget)
+	}
+	oldEntry, ok := u.c.RTM.LookupByTask(id)
+	if !ok {
+		return nil, u.deny(old.Name, DenyBadTarget, 0, ErrUpdateBadTarget)
+	}
+	name := old.Name
+
+	// --- verify ---------------------------------------------------
+	if err := u.enter(UpdateVerify); err != nil {
+		return nil, u.rollBack(name, UpdateVerify, 0, err)
+	}
+	blocks := uint64(len(pkg)+sha1.BlockSize-1) / sha1.BlockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	m.Charge(machine.CostUpdateVerifyBase + blocks*machine.CostUpdateVerifyPerBlock)
+	signed, err := telf.DecodeSigned(pkg)
+	if err != nil {
+		return nil, u.deny(name, DenyCorrupt, 0, fmt.Errorf("%w: %v", ErrUpdateCorrupt, err))
+	}
+	version := signed.Manifest.TaskVersion
+	if err := signed.Verify(u.ku); err != nil {
+		return nil, u.deny(name, DenyBadSig, version, fmt.Errorf("%w: %v", ErrUpdateBadSignature, err))
+	}
+	im := signed.Image
+	if im.Name != name {
+		return nil, u.deny(name, DenyBadTarget, version,
+			fmt.Errorf("%w: package is for %q", ErrUpdateBadTarget, im.Name))
+	}
+	if u.c.Gate != nil {
+		m.Charge(u.c.Gate.Cost(im))
+		if _, err := u.c.Gate.Check(im); err != nil {
+			return nil, u.deny(name, DenyCorrupt, version, fmt.Errorf("%w: %v", ErrUpdateCorrupt, err))
+		}
+	}
+	newID := IdentityOfImage(im)
+
+	// --- counter --------------------------------------------------
+	if err := u.enter(UpdateCounter); err != nil {
+		return nil, u.rollBack(name, UpdateCounter, version, err)
+	}
+	m.Charge(machine.CostUpdateCounter)
+	if u.c.Attest.Quarantined(oldEntry.ID) || u.c.Attest.Quarantined(newID) {
+		return nil, u.deny(name, DenyQuarantined, version, ErrUpdateQuarantined)
+	}
+	slot := CounterSlot(name)
+	var current uint64
+	switch cur, err := u.c.Storage.Load(old, slot); {
+	case err == nil:
+		if len(cur) != 8 {
+			return nil, u.deny(name, DenyCounterTamper, version,
+				fmt.Errorf("%w: %d-byte counter", ErrUpdateCounterTampered, len(cur)))
+		}
+		current = binary.LittleEndian.Uint64(cur)
+	case errors.Is(err, ErrNoSlot):
+		current = 0 // first update of this task
+	default:
+		// Tampered blob or identity mismatch: fail closed. Accepting
+		// here would turn storage tampering into a downgrade vector.
+		return nil, u.deny(name, DenyCounterTamper, version,
+			fmt.Errorf("%w: %v", ErrUpdateCounterTampered, err))
+	}
+	if version <= current {
+		return nil, u.deny(name, DenyDowngrade, version,
+			fmt.Errorf("%w: have %d, offered %d", ErrUpdateDowngrade, current, version))
+	}
+
+	// --- stage (old task still running) ---------------------------
+	if err := u.enter(UpdateStage); err != nil {
+		return nil, u.rollBack(name, UpdateStage, version, err)
+	}
+	base, scanned, err := u.k.Alloc.Alloc(loader.PlacedSize(im))
+	if err != nil {
+		return nil, u.rollBack(name, UpdateStage, version, err)
+	}
+	m.Charge(machine.CostAllocBase + uint64(scanned)*machine.CostAllocPerRegion)
+	job := loader.NewJob(m, im, base)
+	cost, err := job.Run()
+	m.Charge(cost)
+	if err != nil {
+		u.scrub(job, base)
+		return nil, u.rollBack(name, UpdateStage, version, err)
+	}
+
+	// --- stop ------------------------------------------------------
+	if err := u.enter(UpdateStop); err != nil {
+		u.scrub(job, base)
+		return nil, u.rollBack(name, UpdateStop, version, err)
+	}
+	if err := u.k.Suspend(id); err != nil {
+		u.scrub(job, base)
+		return nil, u.rollBack(name, UpdateStop, version, err)
+	}
+	downStart := m.Cycles()
+
+	// --- install ---------------------------------------------------
+	newTCB, err := u.install(UpdateInstall, name, old, job, base, version, newID)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- commit ----------------------------------------------------
+	if err := u.enter(UpdateCommit); err != nil {
+		u.unwindInstalled(newTCB, id)
+		return nil, u.rollBack(name, UpdateCommit, version, err)
+	}
+	m.Charge(machine.CostUpdateSwap)
+	var counter [8]byte
+	binary.LittleEndian.PutUint64(counter[:], version)
+	if err := u.c.Storage.Store(newTCB, slot, counter[:]); err != nil {
+		u.unwindInstalled(newTCB, id)
+		return nil, u.rollBack(name, UpdateCommit, version, err)
+	}
+	if err := u.k.Resume(newTCB.ID); err != nil {
+		u.unwindInstalled(newTCB, id)
+		return nil, u.rollBack(name, UpdateCommit, version, err)
+	}
+	downtime := m.Cycles() - downStart
+	u.k.Unload(id)
+
+	// --- re-attest -------------------------------------------------
+	// The verifier must observe the *new* measurement: quote it now,
+	// under a fresh nonce, as part of the update itself.
+	quote, err := u.c.Attest.QuoteTask(newTCB.ID, nonce)
+	u.counts.Accepted++
+	u.emit(trace.KindUpdateAccepted, name,
+		trace.Num("from", current), trace.Num("to", version),
+		trace.Num("downtime", downtime), trace.Num("new-task", uint64(newTCB.ID)))
+	report := &UpdateReport{
+		Task:           name,
+		Old:            id,
+		New:            newTCB.ID,
+		OldIdentity:    oldEntry.ID,
+		NewIdentity:    newID,
+		FromVersion:    current,
+		ToVersion:      version,
+		DowntimeCycles: downtime,
+		Quote:          quote,
+		Nonce:          nonce,
+	}
+	if err != nil {
+		return report, fmt.Errorf("trusted: update committed but re-attestation failed: %w", err)
+	}
+	return report, nil
+}
+
+// install runs the install phase: bring the staged image up as a
+// suspended, protected, measured, registered task. Any fault scrubs the
+// staged memory and resumes the old task.
+func (u *Updater) install(phase UpdatePhase, name string, old *rtos.TCB, job *loader.Job, base uint32, version uint64, newID sha1.Digest) (*rtos.TCB, error) {
+	if err := u.enter(phase); err != nil {
+		u.scrub(job, base)
+		u.k.Resume(old.ID)
+		return nil, u.rollBack(name, phase, version, err)
+	}
+	newTCB, err := u.k.InstallTaskSuspended(name, rtos.KindSecure, old.Priority, job.Placement())
+	if err != nil {
+		u.scrub(job, base)
+		u.k.Resume(old.ID)
+		return nil, u.rollBack(name, phase, version, err)
+	}
+	if _, err := u.c.Driver.ProtectTask(newTCB); err != nil {
+		u.unwindInstalled(newTCB, old.ID)
+		return nil, u.rollBack(name, phase, version, err)
+	}
+	mjob := u.c.RTM.NewMeasureJob(job.Placement().Image, base, nil)
+	mcost, err := mjob.Run()
+	u.k.M.Charge(mcost)
+	if err != nil {
+		u.unwindInstalled(newTCB, old.ID)
+		return nil, u.rollBack(name, phase, version, err)
+	}
+	measured, _ := mjob.Identity()
+	if measured != newID {
+		// The staged bytes do not hash to the verified image — RAM was
+		// perturbed between stage and measure.
+		u.unwindInstalled(newTCB, old.ID)
+		return nil, u.rollBack(name, phase, version,
+			fmt.Errorf("staged image measurement mismatch"))
+	}
+	u.c.RTM.Register(newTCB, job.Placement().Image, job.Placement(), measured)
+	return newTCB, nil
+}
+
+// scrub unwinds a staged-but-not-installed image: revert the load
+// (which also invalidates any compiled code over the extent) and free
+// the memory.
+func (u *Updater) scrub(job *loader.Job, base uint32) {
+	if job != nil && !job.Aborted() {
+		cost, _ := job.Abort()
+		u.k.M.Charge(cost)
+	}
+	u.k.Alloc.Free(base)
+}
+
+// unwindInstalled removes a fully or partially installed new task and
+// resumes the old one. Unload funnels through the exit hooks, so the
+// EA-MPU rules, registry entry and memory all go with it.
+func (u *Updater) unwindInstalled(newTCB *rtos.TCB, old rtos.TaskID) {
+	u.k.Unload(newTCB.ID)
+	u.k.Resume(old)
+}
