@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check check bench tables interp-bench latency-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check fleet-check check bench tables interp-bench latency-bench fleet-bench clean
 
 all: build
 
@@ -60,10 +60,17 @@ bench-check:
 scenario-check:
 	$(GO) test -race -v -run 'TestScenarioCheck' ./internal/benchlab/
 
+# fleet-check is the fleet attestation determinism gate: the same fleet
+# config run twice — with different shard and acceptor-pool sizes racing
+# underneath, under -race — must render byte-identical reports and event
+# streams.
+fleet-check:
+	$(GO) test -race -v -run 'TestFleetCheck' ./internal/fleet/
+
 # check is the gate CI and pre-commit should run: build, vet, lint, the
 # full test suite under the race detector, the chaos scenario, and the
-# observability, SLO, engine benchmark and update-scenario gates.
-check: build vet lint race chaos trace-check slo-check bench-check scenario-check
+# observability, SLO, engine benchmark, update-scenario and fleet gates.
+check: build vet lint race chaos trace-check slo-check bench-check scenario-check fleet-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .
@@ -82,6 +89,13 @@ interp-bench:
 latency-bench:
 	$(GO) run ./cmd/tytan-bench -latency-json BENCH_latency.json
 
+# fleet-bench runs the fleet attestation service under load (1000
+# devices) and writes BENCH_fleet.json: attestations/sec and verifier
+# session latency percentiles (host clock), plus the deterministic
+# session/cache/quarantine accounting.
+fleet-bench:
+	$(GO) run ./cmd/tytan-bench -fleet-json BENCH_fleet.json
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_interp.json BENCH_latency.json
+	rm -f BENCH_interp.json BENCH_latency.json BENCH_fleet.json

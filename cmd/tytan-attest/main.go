@@ -14,9 +14,19 @@
 //	tytan-attest -listen :7845         # device mode: boot, load, answer challenges
 //	tytan-attest -dial  HOST:7845 task.telf
 //	                                   # verifier mode: challenge a remote device
+//	tytan-attest -serve :7846 good.telf ...
+//	                                   # verifier-plane server: appraise
+//	                                   # device-initiated sessions against
+//	                                   # the published binaries
+//	tytan-attest -join HOST:7846 -device dev-0001 task.telf
+//	                                   # device mode: dial a plane and attest
 //
-// Device and verifier mode speak the internal/remote wire protocol, so
-// the two halves can run as separate processes.
+// All modes speak the internal/remote wire protocol, so the halves can
+// run as separate processes. -serve runs a fleet verifier plane
+// (internal/fleet): hellos from unknown devices are refused unless
+// -auto-enroll, failed appraisals burn a per-device budget, and a
+// device past its budget is quarantined — later hellos are refused at
+// the door.
 package main
 
 import (
@@ -27,7 +37,9 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/remote"
+	"repro/internal/sha1"
 	"repro/internal/telf"
 	"repro/internal/trusted"
 )
@@ -50,7 +62,13 @@ loop:
 func main() {
 	listen := flag.String("listen", "", "device mode: serve attestation challenges on this address")
 	dial := flag.String("dial", "", "verifier mode: challenge the device at this address")
+	serve := flag.String("serve", "", "plane mode: serve device-initiated attestation on this address")
+	join := flag.String("join", "", "device mode: dial the verifier plane at this address and attest")
+	device := flag.String("device", "dev-0000", "device name for -join")
 	provider := flag.String("provider", "oem", "attestation-key provider context")
+	autoEnroll := flag.Bool("auto-enroll", false, "plane mode: enroll unknown devices on first hello")
+	maxFailures := flag.Int("max-failures", 0, "plane mode: appraisal failures before quarantine (0 = default)")
+	listeners := flag.Int("listeners", 0, "plane mode: acceptor-pool size (0 = default)")
 	flag.Parse()
 
 	var err error
@@ -59,6 +77,10 @@ func main() {
 		err = runDevice(*listen, *provider, flag.Args())
 	case *dial != "":
 		err = runVerifier(*dial, *provider, flag.Args())
+	case *serve != "":
+		err = runPlane(*serve, *provider, *autoEnroll, *maxFailures, *listeners, flag.Args())
+	case *join != "":
+		err = runJoin(*join, *device, *provider, flag.Args())
 	default:
 		err = run(flag.Args())
 	}
@@ -100,7 +122,7 @@ func runDevice(addr, provider string, args []string) error {
 		return err
 	}
 	fmt.Printf("device: serving attestation for %q (idt %x) on %s\n", im.Name, id, l.Addr())
-	return remote.Serve(l, remote.ComponentsAttestor{C: p.C})
+	return remote.NewServer(remote.ComponentsAttestor{C: p.C}, remote.ServerOptions{}).Serve(l)
 }
 
 // runVerifier challenges a remote device about the given binary. The
@@ -117,13 +139,89 @@ func runVerifier(addr, provider string, args []string) error {
 	}
 	defer conn.Close()
 	v := trusted.NewVerifier(core.DevKey, provider)
+	client := remote.NewClient(v, provider, remote.ClientOptions{})
 	const nonce = 0x5EED5EED5EED5EED
-	q, err := remote.Attest(conn, v, provider, expected, nonce)
+	q, err := client.Attest(conn, expected, nonce)
 	if err != nil {
 		return fmt.Errorf("attestation FAILED: %w", err)
 	}
 	fmt.Printf("verifier: device attested %q\n  identity %x\n  mac      %x\nACCEPTED\n",
 		im.Name, q.ID, q.MAC)
+	return nil
+}
+
+// runPlane serves a fleet verifier plane: every argument is a published
+// TELF binary whose identity joins the known-good set (no arguments:
+// the built-in demo task).
+func runPlane(addr, provider string, autoEnroll bool, maxFailures, listeners int, args []string) error {
+	var known []sha1.Digest
+	if len(args) == 0 {
+		im, err := asm.Assemble(demoTask)
+		if err != nil {
+			return err
+		}
+		known = append(known, trusted.IdentityOfImage(im))
+	}
+	for _, path := range args {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		im, err := telf.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		known = append(known, trusted.IdentityOfImage(im))
+	}
+
+	client := remote.NewClient(trusted.NewVerifier(core.DevKey, provider), provider, remote.ClientOptions{})
+	plane := fleet.NewPlane(fleet.PlaneConfig{
+		Client:      client,
+		KnownGood:   known,
+		AutoEnroll:  autoEnroll,
+		MaxFailures: maxFailures,
+		Listeners:   listeners,
+	})
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plane: serving %d known-good builds on %s (auto-enroll %v)\n",
+		len(known), l.Addr(), autoEnroll)
+	plane.Serve(l)
+	return nil
+}
+
+// runJoin boots a device, loads its task, and runs one device-initiated
+// session against a verifier plane.
+func runJoin(addr, device, provider string, args []string) error {
+	im, err := loadImageArg(args)
+	if err != nil {
+		return err
+	}
+	p, err := core.NewPlatform(core.Options{Provider: provider})
+	if err != nil {
+		return err
+	}
+	tcb, id, err := p.LoadTaskSync(im, core.Secure, 3)
+	if err != nil {
+		return err
+	}
+	e, ok := p.C.RTM.LookupByTask(tcb.ID)
+	if !ok {
+		return fmt.Errorf("task unregistered after load")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	srv := remote.NewServer(remote.ComponentsAttestor{C: p.C}, remote.ServerOptions{})
+	err = srv.AttestTo(conn, remote.Hello{Device: device, Provider: provider, TruncID: e.TruncID})
+	if err != nil {
+		return fmt.Errorf("attestation FAILED: %w", err)
+	}
+	fmt.Printf("device %s: attested %q (identity %x) ACCEPTED\n", device, im.Name, id)
 	return nil
 }
 
@@ -159,13 +257,14 @@ func run(args []string) error {
 
 	// The verifier knows the published binary and derives the expected
 	// identity offline.
-	verifier := p.Verifier()
+	oem := p.Provider("oem")
+	verifier := oem.Verifier()
 	expected := trusted.IdentityOfImage(im)
 	fmt.Printf("verifier: expected identity %x\n", expected)
 
 	const nonce = 0x1122334455667788
 	fmt.Printf("verifier: challenge nonce %#x\n", uint64(nonce))
-	quote, err := p.Quote(tcb.ID, nonce)
+	quote, err := oem.Quote(tcb.ID, nonce)
 	if err != nil {
 		return err
 	}
@@ -184,7 +283,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	evilQuote, err := p.Quote(evilTCB.ID, nonce+1)
+	evilQuote, err := oem.Quote(evilTCB.ID, nonce+1)
 	if err != nil {
 		return err
 	}

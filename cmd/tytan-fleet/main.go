@@ -1,0 +1,80 @@
+// Command tytan-fleet runs the fleet-scale attestation service: N
+// deterministic simulated TyTAN devices, booted in a sharded worker
+// pool, each attesting against one concurrent verifier plane with an
+// appraisal cache and a quarantine registry (internal/fleet).
+//
+// The run is seed-deterministic: every report line is a pure function
+// of the flags, so the same invocation renders byte-identical output
+// no matter how the shards and acceptors are scheduled.
+//
+// Usage:
+//
+//	tytan-fleet                          # 1000 devices, 2 rounds
+//	tytan-fleet -devices 200 -faulty 5   # five devices on unpublished builds
+//	tytan-fleet -bench -json BENCH_fleet.json
+//	                                     # throughput benchmark (host clock)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	devices := flag.Int("devices", 1000, "fleet size")
+	rounds := flag.Int("rounds", 2, "attestation rounds per device")
+	shards := flag.Int("shards", 0, "device worker-pool size (0 = default)")
+	seed := flag.Uint64("seed", 1, "seed for variant assignment and faulty-device selection")
+	variants := flag.Int("variants", 0, "published firmware builds (0 = default)")
+	faulty := flag.Int("faulty", 0, "devices running an unpublished build")
+	maxFailures := flag.Int("max-failures", 0, "appraisal failures before quarantine (0 = default)")
+	listeners := flag.Int("listeners", 0, "plane acceptor-pool size (0 = default)")
+	observe := flag.Bool("observe", true, "measure attestation round trips in device cycles")
+	bench := flag.Bool("bench", false, "benchmark mode: add host-clock throughput figures")
+	jsonPath := flag.String("json", "", "benchmark mode: write the JSON report to this file (implies -bench)")
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Devices: *devices, Rounds: *rounds, Shards: *shards, Seed: *seed,
+		Variants: *variants, Faulty: *faulty, MaxFailures: *maxFailures,
+		Listeners: *listeners, Observe: *observe,
+	}
+	if err := runFleet(cfg, *bench || *jsonPath != "", *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "tytan-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func runFleet(cfg fleet.Config, bench bool, jsonPath string) error {
+	if !bench {
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		res.Report.WriteText(os.Stdout)
+		return nil
+	}
+
+	b, res, err := fleet.Bench(cfg)
+	if err != nil {
+		return err
+	}
+	res.Report.WriteText(os.Stdout)
+	fmt.Printf("  throughput: %.0f attests/sec over %.2fs wall; verifier session p50=%dus p99=%dus\n",
+		b.AttestsPerSec, b.WallSeconds, b.VerifyP50NS/1000, b.VerifyP99NS/1000)
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}

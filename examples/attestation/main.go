@@ -78,9 +78,9 @@ func main() {
 	// nonce; the device's Remote Attest task MACs (idt ‖ nonce) under
 	// Ka, which is derived from the platform key Kp that only the
 	// trusted components can read.
-	backend := platform.Verifier()
+	backend := platform.Provider("").Verifier()
 	nonce := uint64(0xA5A5_0001)
-	quote, err := platform.Quote(supplier.ID, nonce)
+	quote, err := platform.Provider("").Quote(supplier.ID, nonce)
 	if err != nil {
 		log.Fatal(err)
 	}

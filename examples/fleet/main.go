@@ -65,6 +65,7 @@ func main() {
 
 	// The backend challenges every device.
 	verifier := trusted.NewVerifier(core.DevKey, "fleet")
+	client := remote.NewClient(verifier, "fleet", remote.ClientOptions{})
 	healthy, compromised := 0, 0
 	for i, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
@@ -72,7 +73,7 @@ func main() {
 			log.Fatal(err)
 		}
 		nonce := uint64(0xF1EE7000) + uint64(i)
-		quote, err := remote.Attest(conn, verifier, "fleet", expected, nonce)
+		quote, err := client.Attest(conn, expected, nonce)
 		conn.Close()
 		if err != nil {
 			fmt.Printf("ecu-%d at %s: COMPROMISED (%v)\n", i, addr, err)
@@ -103,6 +104,7 @@ func startDevice(name string, image *telf.Image) (string, error) {
 		return "", err
 	}
 	fmt.Printf("%s: booted, serving attestation on %s\n", name, l.Addr())
-	go remote.Serve(l, remote.ComponentsAttestor{C: platform.C})
+	srv := remote.NewServer(remote.ComponentsAttestor{C: platform.C}, remote.ServerOptions{})
+	go srv.Serve(l)
 	return l.Addr().String(), nil
 }

@@ -37,6 +37,8 @@ import (
 //	span:<class>     any span class verbatim (e.g. span:load/stream)
 //	deadline_miss    KindDeadlineMiss occurrences
 //	eampu_violation  KindViolation occurrences
+//	fleet_session    KindFleet occurrences (one verdict or refusal per
+//	                 attestation session the verifier plane completed)
 
 // Aggregates.
 const (
@@ -112,6 +114,8 @@ func (r Rule) occurrenceKind() (trace.Kind, bool) {
 		return trace.KindDeadlineMiss, true
 	case "eampu_violation":
 		return trace.KindViolation, true
+	case "fleet_session":
+		return trace.KindFleet, true
 	}
 	return 0, false
 }

@@ -173,10 +173,11 @@ func (n *chaosNet) dial() (net.Conn, error) {
 		dev = fc
 	}
 	n.dialNum++
+	srv := remote.NewServer(n.att, remote.ServerOptions{Timeout: chaosIOTimeout})
 	go func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		remote.ServeOneTimeout(dev, n.att, chaosIOTimeout)
+		srv.ServeOne(dev)
 		devConn.Close()
 	}()
 	return verConn, nil
@@ -339,15 +340,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		chain:  connChain,
 		faulty: cfg.Classes&faultinject.ConnFaults != 0,
 	}
+	client := remote.NewClient(oem.Verifier(), oem.Name(), remote.ClientOptions{
+		Attempts: 8,
+		Backoff:  time.Millisecond,
+		Timeout:  chaosIOTimeout,
+		Sleep:    func(time.Duration) {},
+		Stats:    retryStats,
+	})
 	attest := func(identity sha1.Digest, nonce uint64) (int, error) {
-		_, attempts, err := remote.AttestRetry(cnet.dial, oem.Verifier(),
-			oem.Name(), identity, nonce, remote.RetryConfig{
-				Attempts: 8,
-				Backoff:  time.Millisecond,
-				Timeout:  chaosIOTimeout,
-				Sleep:    func(time.Duration) {},
-				Stats:    retryStats,
-			})
+		_, attempts, err := client.AttestRetry(cnet.dial, identity, nonce)
 		cnet.settle()
 		return attempts, err
 	}

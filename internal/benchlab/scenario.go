@@ -11,8 +11,10 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
+	"repro/internal/trace"
 	"repro/internal/trusted"
 )
 
@@ -116,12 +118,24 @@ type ScenarioEnv struct {
 	P   *core.Platform
 	Obs *core.Obs
 
+	// adopted is an event stream the scenario hands over for SLO
+	// evaluation when the cell has no single platform (the fleet sweep
+	// runs many platforms plus a verifier plane).
+	adopted []trace.Event
+
 	notes []string
 }
 
 // Notef records a deterministic line for the cell report.
 func (e *ScenarioEnv) Notef(format string, args ...any) {
 	e.notes = append(e.notes, fmt.Sprintf(format, args...))
+}
+
+// AdoptEvents hands the cell a deterministic event stream to judge the
+// SLO over, for scenarios that run their own harness instead of (or in
+// addition to) the env's single platform.
+func (e *ScenarioEnv) AdoptEvents(evs []trace.Event) {
+	e.adopted = append(e.adopted, evs...)
 }
 
 // boot builds the cell's platform (provider "oem", observability on).
@@ -230,7 +244,70 @@ func UpdateScenarios() []Scenario {
 			SLO:   "eampu_violation == 0",
 			Run:   scenarioQuarantinedRefused,
 		},
+		{
+			Name:  "fleet-attestation-sweep",
+			Gloss: "12-device fleet sweep; the one faulty device is quarantined mid-run, the rest attest every round",
+			// One plane verdict/refusal per session, bounded device-side
+			// round trips, and no integrity violations anywhere in the
+			// fleet's combined event stream.
+			SLO: "fleet_session == 48\nattest_rtt max <= 32000c\neampu_violation == 0",
+			Run: scenarioFleetSweep,
+		},
 	}
+}
+
+// scenarioFleetSweep runs the fleet attestation service end to end: 12
+// devices x 4 rounds against one verifier plane, with one device on an
+// unpublished firmware build and a failure budget of 2. The faulty
+// device must be quarantined mid-run — it burns its budget and then has
+// later rounds refused at the hello — while every healthy device
+// attests every round. The cell adopts the fleet's combined event
+// stream, so the SLO judges the whole fleet, not a single platform.
+func scenarioFleetSweep(e *ScenarioEnv) error {
+	cfg := fleet.Config{
+		Devices: 12, Rounds: 4, Seed: e.Seed,
+		Variants: 2, Faulty: 1, MaxFailures: 2,
+		CollectEvents: true,
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+
+	if rep.Quarantined != 1 || len(rep.QuarantinedNames) != 1 {
+		return fmt.Errorf("quarantined = %d (%v), want exactly the faulty device",
+			rep.Quarantined, rep.QuarantinedNames)
+	}
+	bad, ok := res.Plane.Registry().Lookup(rep.QuarantinedNames[0])
+	if !ok {
+		return fmt.Errorf("quarantined device %s missing from registry", rep.QuarantinedNames[0])
+	}
+	// Mid-run means rounds remained after quarantine: the device must
+	// have been refused at least once after its budget ran out.
+	if bad.Failures != cfg.MaxFailures || bad.Refusals == 0 {
+		return fmt.Errorf("quarantine not mid-run: %d failures, %d refusals", bad.Failures, bad.Refusals)
+	}
+	healthyRounds := uint64((cfg.Devices - 1) * cfg.Rounds)
+	if rep.Attested != healthyRounds {
+		return fmt.Errorf("attested = %d, want %d (every healthy device, every round)",
+			rep.Attested, healthyRounds)
+	}
+	if rep.Errored != 0 {
+		return fmt.Errorf("errored sessions = %d, want 0", rep.Errored)
+	}
+	// The appraisal cache collapses the fleet to one miss per distinct
+	// measurement.
+	if rep.CacheMisses > uint64(cfg.Variants+1) {
+		return fmt.Errorf("cache misses = %d, want <= %d distinct builds",
+			rep.CacheMisses, cfg.Variants+1)
+	}
+	e.AdoptEvents(res.Events)
+	e.Notef("%s quarantined after %d failed appraisals, %d later hellos refused at the door",
+		bad.Name, bad.Failures, bad.Refusals)
+	e.Notef("%d sessions: %d attested, %d rejected, %d refused; cache %d hits / %d misses",
+		rep.Sessions, rep.Attested, rep.Rejected, rep.Refused, rep.CacheHits, rep.CacheMisses)
+	return nil
 }
 
 // scenarioUpdateUnderLoad: the app runs under a registered periodic
@@ -673,11 +750,18 @@ func runScenarioCell(s Scenario, seed uint64) ScenarioCell {
 			cell.Counts = u.Counts()
 		}
 	}
+	// The SLO stream: the cell platform's events, plus any stream the
+	// scenario adopted from its own harness (the fleet sweep).
+	var evs []trace.Event
 	if env.Obs != nil {
+		evs = env.Obs.Events()
+	}
+	evs = append(evs, env.adopted...)
+	if len(evs) > 0 {
 		if spec, perr := analyze.ParseSpecString(s.SLO); perr != nil {
 			cell.Err = strings.TrimSpace(cell.Err + "; bad SLO spec: " + perr.Error())
 		} else {
-			v := spec.Evaluate(analyze.Analyze(env.Obs.Events()))
+			v := spec.Evaluate(analyze.Analyze(evs))
 			cell.SLO = v.Results
 			cell.SLOPass = v.Pass
 		}

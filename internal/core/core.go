@@ -409,40 +409,6 @@ func (h ProviderHandle) Verifier() *trusted.Verifier {
 	return trusted.NewVerifier(h.p.platformKey, h.name)
 }
 
-// Quote produces a remote attestation report for a loaded secure task.
-//
-// Deprecated: use Provider("").Quote.
-func (p *Platform) Quote(id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
-	return p.Provider("").Quote(id, nonce)
-}
-
-// QuoteForProvider produces a quote under an individual provider's
-// attestation key.
-//
-// Deprecated: use Provider(provider).Quote.
-func (p *Platform) QuoteForProvider(provider string, id rtos.TaskID, nonce uint64) (trusted.Quote, error) {
-	if p.C == nil {
-		return trusted.Quote{}, ErrBaselineOnly
-	}
-	return p.C.Attest.QuoteTaskForProvider(provider, id, nonce)
-}
-
-// VerifierForProvider returns a verifier holding the given provider's
-// attestation key.
-//
-// Deprecated: use Provider(provider).Verifier.
-func (p *Platform) VerifierForProvider(provider string) *trusted.Verifier {
-	return p.Provider(provider).Verifier()
-}
-
-// Verifier returns a remote verifier provisioned for this platform —
-// the party that knows Kp (out of band) and checks quotes.
-//
-// Deprecated: use Provider("").Verifier.
-func (p *Platform) Verifier() *trusted.Verifier {
-	return p.Provider("").Verifier()
-}
-
 // Seal stores data in the secure-storage slot on behalf of task id.
 func (p *Platform) Seal(id rtos.TaskID, slot uint32, data []byte) error {
 	if p.C == nil {

@@ -84,7 +84,7 @@ func TestBaselinePlatform(t *testing.T) {
 		t.Errorf("output = %q", p.Output())
 	}
 	// TyTAN-only operations are rejected.
-	if _, err := p.Quote(1, 1); !errors.Is(err, ErrBaselineOnly) {
+	if _, err := p.Provider("").Quote(1, 1); !errors.Is(err, ErrBaselineOnly) {
 		t.Errorf("Quote on baseline = %v", err)
 	}
 	if err := p.Seal(1, 0, nil); !errors.Is(err, ErrBaselineOnly) {
@@ -185,11 +185,11 @@ func TestQuoteRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := p.Quote(tcb.ID, 42)
+	q, err := p.Provider("").Quote(tcb.ID, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Verifier().Verify(q, trusted.IdentityOfImage(im), 42); err != nil {
+	if err := p.Provider("").Verifier().Verify(q, trusted.IdentityOfImage(im), 42); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -389,29 +389,29 @@ func TestPerProviderQuotes(t *testing.T) {
 	expected := trusted.IdentityOfImage(im)
 	const nonce = 99
 
-	qa, err := p.QuoteForProvider("tier1", tcb.ID, nonce)
+	qa, err := p.Provider("tier1").Quote(tcb.ID, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qb, err := p.QuoteForProvider("oem", tcb.ID, nonce)
+	qb, err := p.Provider("oem").Quote(tcb.ID, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if qa.MAC == qb.MAC {
 		t.Error("providers share attestation MACs")
 	}
-	if err := p.VerifierForProvider("tier1").Verify(qa, expected, nonce); err != nil {
+	if err := p.Provider("tier1").Verifier().Verify(qa, expected, nonce); err != nil {
 		t.Errorf("tier1 quote rejected: %v", err)
 	}
-	if err := p.VerifierForProvider("oem").Verify(qb, expected, nonce); err != nil {
+	if err := p.Provider("oem").Verifier().Verify(qb, expected, nonce); err != nil {
 		t.Errorf("oem quote rejected: %v", err)
 	}
 	// Cross-provider verification fails: stakeholders cannot verify (or
 	// forge) each other's reports.
-	if err := p.VerifierForProvider("oem").Verify(qa, expected, nonce); err == nil {
+	if err := p.Provider("oem").Verifier().Verify(qa, expected, nonce); err == nil {
 		t.Error("oem verified tier1's quote")
 	}
-	if _, err := p.QuoteForProvider("x", 999, 1); err == nil {
+	if _, err := p.Provider("x").Quote(999, 1); err == nil {
 		t.Error("quoted unknown task")
 	}
 }

@@ -41,7 +41,7 @@ main:
 	}
 
 	// Remote attestation round trip (while the task is loaded).
-	quote, err := platform.Quote(task.ID, 42)
+	quote, err := platform.Provider("").Quote(task.ID, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +49,7 @@ main:
 		log.Fatal(err)
 	}
 	fmt.Println("uart:", platform.Output())
-	err = platform.Verifier().Verify(quote, trusted.IdentityOfImage(image), 42)
+	err = platform.Provider("").Verifier().Verify(quote, trusted.IdentityOfImage(image), 42)
 	fmt.Println("attested:", err == nil, "identity ==", quote.ID == identity)
 
 	// Output:

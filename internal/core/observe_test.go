@@ -301,7 +301,7 @@ func TestProviderHandle(t *testing.T) {
 		t.Errorf("handle verifier rejects handle quote: %v", err)
 	}
 
-	// Empty name = platform default; the deprecated wrappers agree.
+	// Empty name = platform default.
 	def := p.Provider("")
 	if def.Name() != "oem" {
 		t.Errorf("default handle name = %q, want oem", def.Name())
@@ -313,15 +313,8 @@ func TestProviderHandle(t *testing.T) {
 	if qd.MAC != q.MAC {
 		t.Error("default-provider quote differs from named-provider quote")
 	}
-	qOld, err := p.Quote(tcb.ID, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if qOld.MAC != q.MAC {
-		t.Error("deprecated Quote disagrees with handle")
-	}
-	if err := p.Verifier().Verify(q, identity, 42); err != nil {
-		t.Errorf("deprecated Verifier rejects handle quote: %v", err)
+	if err := def.Verifier().Verify(q, identity, 42); err != nil {
+		t.Errorf("default verifier rejects named-provider quote: %v", err)
 	}
 
 	// A distinct provider derives a distinct key.

@@ -129,11 +129,11 @@ func TestSupervisorRestartsAndReattests(t *testing.T) {
 
 	// The restarted incarnation re-attests: freshly measured, same
 	// binary, same identity, valid MAC.
-	q, err := p.Quote(st.TaskID, 0xC0FFEE)
+	q, err := p.Provider("").Quote(st.TaskID, 0xC0FFEE)
 	if err != nil {
 		t.Fatalf("quote of restarted task: %v", err)
 	}
-	if err := p.Verifier().Verify(q, identity, 0xC0FFEE); err != nil {
+	if err := p.Provider("").Verifier().Verify(q, identity, 0xC0FFEE); err != nil {
 		t.Fatalf("restarted task failed verification: %v", err)
 	}
 }
@@ -182,7 +182,7 @@ func TestSupervisorQuarantineAfterBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Quote(tcb2.ID, 7); !errors.Is(err, trusted.ErrQuarantined) {
+	if _, err := p.Provider("").Quote(tcb2.ID, 7); !errors.Is(err, trusted.ErrQuarantined) {
 		t.Errorf("quote of reloaded quarantined binary = %v, want ErrQuarantined", err)
 	}
 }

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/analyze"
+)
+
+// BenchReport is the fleet throughput benchmark (BENCH_fleet.json):
+// deterministic simulation results plus host-clock throughput figures.
+// Only the host fields vary between runs; everything else is a pure
+// function of the Config.
+type BenchReport struct {
+	Devices  int    `json:"devices"`
+	Rounds   int    `json:"rounds"`
+	Shards   int    `json:"shards"`
+	Seed     uint64 `json:"seed"`
+	Variants int    `json:"variants"`
+	Faulty   int    `json:"faulty"`
+
+	Sessions uint64 `json:"sessions"`
+	Attested uint64 `json:"attested"`
+	Rejected uint64 `json:"rejected"`
+	Refused  uint64 `json:"refused"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Quarantined int    `json:"quarantined"`
+
+	// AttestRTTCycles summarizes device-side attestation round trips in
+	// simulated cycles (deterministic).
+	AttestRTTCycles analyze.Stats `json:"attest_rtt_cycles"`
+
+	// Host-clock figures (vary run to run).
+	WallSeconds    float64 `json:"wall_seconds"`
+	AttestsPerSec  float64 `json:"attests_per_sec"`
+	VerifyP50NS    int64   `json:"verify_p50_ns"`
+	VerifyP99NS    int64   `json:"verify_p99_ns"`
+	VerifySessions int     `json:"verify_sessions"`
+}
+
+// Bench runs the fleet under a host clock and reports throughput:
+// attestations per second end to end, and the verifier plane's
+// per-session latency percentiles.
+func Bench(cfg Config) (BenchReport, *Result, error) {
+	cfg.Observe = true
+	cfg.Clock = func() int64 { return time.Now().UnixNano() } //tytan:allow hosttime
+	start := time.Now()                                       //tytan:allow hosttime
+	res, err := Run(cfg)
+	if err != nil {
+		return BenchReport{}, nil, err
+	}
+	wall := time.Since(start) //tytan:allow hosttime
+
+	rep := res.Report
+	b := BenchReport{
+		Devices: rep.Devices, Rounds: rep.Rounds, Shards: rep.Shards,
+		Seed: rep.Seed, Variants: rep.Variants, Faulty: rep.Faulty,
+		Sessions: rep.Sessions, Attested: rep.Attested,
+		Rejected: rep.Rejected, Refused: rep.Refused,
+		CacheHits: rep.CacheHits, CacheMisses: rep.CacheMisses,
+		Quarantined:     rep.Quarantined,
+		AttestRTTCycles: rep.AttestRTT,
+		WallSeconds:     wall.Seconds(),
+	}
+	if b.WallSeconds > 0 {
+		b.AttestsPerSec = float64(rep.Attested) / b.WallSeconds
+	}
+	ns := res.Plane.HostDurations()
+	b.VerifySessions = len(ns)
+	if len(ns) > 0 {
+		b.VerifyP50NS = percentileNS(ns, 0.50)
+		b.VerifyP99NS = percentileNS(ns, 0.99)
+	}
+	return b, res, nil
+}
+
+// percentileNS is nearest-rank over a sorted slice, mirroring
+// analyze.Percentile for int64 nanoseconds.
+func percentileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*q + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,323 @@
+// Package fleet is the fleet-scale attestation service: N deterministic
+// simulated TyTAN platforms (the device farm) attest against one
+// concurrent verifier plane, over an in-memory network.
+//
+// The farm spins devices up in a sharded worker pool — each simulation
+// is wall-clock-free, so instances parallelize trivially and the shard
+// count changes only how fast the run finishes, never its outcome. The
+// plane (plane.go) serves sessions with an acceptor pool, per-session
+// deadlines, a verifier-side appraisal cache keyed by measurement
+// digest (cache.go) and a fleet registry with supervisor-style
+// quarantine (registry.go). Every number in the text report is a pure
+// function of the Config, so two runs of the same seed render
+// byte-identical reports even under full concurrency — the
+// `make fleet-check` gate.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/remote"
+	"repro/internal/trace"
+	"repro/internal/trusted"
+)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Devices is the fleet size. Required.
+	Devices int
+	// Rounds is how many attestation rounds each device runs (0 = 1).
+	Rounds int
+	// Shards is the device worker-pool size (0 = 8). Changes wall-clock
+	// speed and peak memory only — never the report.
+	Shards int
+	// Seed drives variant assignment and faulty-device selection.
+	Seed uint64
+	// Variants is how many published firmware builds the fleet runs
+	// (0 = 3). The published builds form the plane's known-good set.
+	Variants int
+	// Faulty is how many devices run an unpublished build (0 = none).
+	// They attest fine at the wire level; the plane's appraisal fails
+	// them and eventually quarantines them.
+	Faulty int
+	// MaxFailures is the appraisal-failure budget before quarantine
+	// (0 = 3).
+	MaxFailures int
+	// Listeners is the plane's acceptor-pool size (0 = 4).
+	Listeners int
+	// Provider is the attestation-key context (empty = "oem").
+	Provider string
+	// RAMSize is each device's RAM in bytes (0 = 2 MiB, the smallest
+	// layout that fits the task pool — fleet devices are tiny, and the
+	// platform pool keeps peak memory O(Shards)).
+	RAMSize uint32
+	// RunSlice is how many cycles each device simulates between rounds
+	// (0 = one tick period).
+	RunSlice uint64
+	// Observe attaches per-device observability so attestation
+	// round-trip spans (in simulated cycles) are measured.
+	Observe bool
+	// CollectEvents additionally returns the deterministic event stream
+	// (device events in device order, then plane events) in the Result.
+	// Implies Observe.
+	CollectEvents bool
+	// Clock, when non-nil, is a host-ns clock the plane uses to time
+	// its verification path for throughput benchmarks. Host timings
+	// never enter the text report; keep nil for deterministic-output
+	// runs.
+	Clock func() int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Devices <= 0 {
+		return c, errors.New("fleet: Config.Devices must be positive")
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Variants <= 0 {
+		c.Variants = 3
+	}
+	if c.Faulty < 0 {
+		c.Faulty = 0
+	}
+	if c.Faulty > c.Devices {
+		c.Faulty = c.Devices
+	}
+	if c.Listeners <= 0 {
+		c.Listeners = 4
+	}
+	if c.Provider == "" {
+		c.Provider = "oem"
+	}
+	if c.RAMSize == 0 {
+		c.RAMSize = 2 << 20
+	}
+	if c.RunSlice == 0 {
+		c.RunSlice = core.DefaultTickPeriod
+	}
+	if c.CollectEvents {
+		c.Observe = true
+	}
+	return c, nil
+}
+
+// DeviceName names device idx ("dev-0042"): zero-padded so sorted
+// names follow device order.
+func DeviceName(idx int) string { return fmt.Sprintf("dev-%04d", idx) }
+
+// deviceResult is one device's view of its rounds.
+type deviceResult struct {
+	name      string
+	variant   int
+	faulty    bool
+	ok        int // sessions whose verdict came back pass
+	denied    int // sessions whose verdict came back fail
+	refused   int // hellos refused at the door
+	errored   int // transport/protocol failures
+	durations []uint64 // attest round-trip spans, device cycles
+	events    []trace.Event
+	err       error // fatal setup failure
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	// Report is the deterministic summary.
+	Report Report
+	// Events is the deterministic combined event stream (CollectEvents
+	// only): each device's stream in device order, then the plane's
+	// events sorted by device and session ordinal.
+	Events []trace.Event
+	// Plane exposes the registry, cache and counters for inspection.
+	Plane *Plane
+}
+
+// Run executes a fleet run: boot Devices platforms in Shards workers,
+// each attesting Rounds times against one concurrent verifier plane.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Seeded assignment: which published build each device runs, and
+	// which devices run the unpublished (faulty) build instead.
+	rng := faultinject.NewRNG(cfg.Seed ^ 0xF1EE7F1EE7)
+	variant := make([]int, cfg.Devices)
+	for i := range variant {
+		variant[i] = rng.Intn(cfg.Variants)
+	}
+	faulty := make([]bool, cfg.Devices)
+	for picked := 0; picked < cfg.Faulty; {
+		i := rng.Intn(cfg.Devices)
+		if !faulty[i] {
+			faulty[i] = true
+			// The unpublished build: one past the published set.
+			variant[i] = cfg.Variants
+			picked++
+		}
+	}
+
+	known, err := PublishedSet(cfg.Variants)
+	if err != nil {
+		return nil, err
+	}
+
+	// The verifier plane. All simulated devices boot from the same
+	// development platform key, so one provider verifier covers the
+	// whole fleet (per-device endorsement keys are ROADMAP item 2).
+	client := remote.NewClient(trusted.NewVerifier(core.DevKey, cfg.Provider), cfg.Provider, remote.ClientOptions{})
+	reg := NewRegistry(cfg.MaxFailures)
+	for i := 0; i < cfg.Devices; i++ {
+		reg.Register(DeviceName(i))
+	}
+	var planeBuf *trace.Buffer
+	var planeSink trace.Sink
+	if cfg.Observe {
+		planeBuf = new(trace.Buffer)
+		planeSink = planeBuf
+	}
+	plane := NewPlane(PlaneConfig{
+		Client:    client,
+		Listeners: cfg.Listeners,
+		Registry:  reg,
+		KnownGood: known,
+		Obs:       planeSink,
+		NonceBase: cfg.Seed << 20,
+		Clock:     cfg.Clock,
+	})
+	ln := newMemListener()
+	planeDone := make(chan struct{})
+	go func() {
+		plane.Serve(ln)
+		close(planeDone)
+	}()
+
+	// The device farm: a sharded worker pool over the device indices.
+	results := make([]deviceResult, cfg.Devices)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = runDevice(cfg, i, variant[i], faulty[i], ln)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Devices; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	ln.Close()
+	<-planeDone
+
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("fleet: device %s: %w", results[i].name, results[i].err)
+		}
+	}
+
+	res := &Result{Plane: plane}
+	res.Report = buildReport(cfg, plane, results)
+	if cfg.CollectEvents {
+		for i := range results {
+			res.Events = append(res.Events, results[i].events...)
+		}
+		if planeBuf != nil {
+			pe := planeBuf.Events()
+			sort.SliceStable(pe, func(i, j int) bool {
+				if pe[i].Subject != pe[j].Subject {
+					return pe[i].Subject < pe[j].Subject
+				}
+				return pe[i].Cycle < pe[j].Cycle
+			})
+			res.Events = append(res.Events, pe...)
+		}
+	}
+	return res, nil
+}
+
+// runDevice boots one simulated device, loads its firmware build, and
+// runs its attestation rounds against the plane.
+func runDevice(cfg Config, idx, variant int, faulty bool, ln *memListener) deviceResult {
+	res := deviceResult{name: DeviceName(idx), variant: variant, faulty: faulty}
+
+	p, err := core.NewPlatform(core.Options{Provider: cfg.Provider, RAMSize: cfg.RAMSize})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer p.Close()
+
+	att := remote.Attestor(remote.ComponentsAttestor{C: p.C})
+	var obs *core.Obs
+	if cfg.Observe {
+		obs = p.EnableObservability()
+		att = &remote.TracedAttestor{Inner: att, Cycles: p.M.Cycles, Obs: obs.Buf}
+	}
+
+	im, err := VariantImage(variant)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	tcb, _, err := p.LoadTaskSync(im, core.Secure, 3)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	e, ok := p.C.RTM.LookupByTask(tcb.ID)
+	if !ok {
+		res.err = errors.New("task unregistered after load")
+		return res
+	}
+
+	srv := remote.NewServer(att, remote.ServerOptions{})
+	hello := remote.Hello{Device: res.name, Provider: cfg.Provider, TruncID: e.TruncID}
+	for r := 0; r < cfg.Rounds; r++ {
+		if r > 0 {
+			if err := p.Run(cfg.RunSlice); err != nil {
+				res.err = err
+				return res
+			}
+		}
+		conn, err := ln.Dial()
+		if err != nil {
+			res.errored++
+			continue
+		}
+		err = srv.AttestTo(conn, hello)
+		conn.Close()
+		switch {
+		case err == nil:
+			res.ok++
+		case errors.Is(err, remote.ErrDenied):
+			res.denied++
+		case errors.Is(err, remote.ErrRefused):
+			res.refused++
+		default:
+			res.errored++
+		}
+	}
+
+	if obs != nil {
+		a := analyze.Analyze(obs.Events())
+		res.durations = a.Durations(analyze.ClassAttest)
+		if cfg.CollectEvents {
+			res.events = obs.Events()
+		}
+	}
+	return res
+}

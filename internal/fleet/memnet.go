@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// memnet: an in-memory net.Listener so a thousand simulated devices
+// can dial the verifier plane without consuming host sockets. Dial
+// hands one end of a net.Pipe to an Accept caller; pipes support
+// deadlines, so the remote package's timeout machinery works
+// unchanged.
+
+// ErrListenerClosed is returned by Dial and Accept after Close.
+var ErrListenerClosed = errors.New("fleet: listener closed")
+
+// memListener is an in-process listener. The zero value is not ready;
+// use newMemListener.
+type memListener struct {
+	conns chan net.Conn
+	once  sync.Once
+	done  chan struct{}
+}
+
+func newMemListener() *memListener {
+	return &memListener{
+		conns: make(chan net.Conn),
+		done:  make(chan struct{}),
+	}
+}
+
+// Dial connects a new in-memory conn to the next Accept caller.
+func (l *memListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrListenerClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Close implements net.Listener. Safe to call more than once.
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// memAddr is the listener's synthetic address.
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem:fleet" }
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr{} }

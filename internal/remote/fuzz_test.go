@@ -20,10 +20,10 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frame(5, append([]byte{MsgChallenge}, "abcd"...)))
 	// Zero-length frame (rejected).
 	f.Add(frame(0, nil))
-	// Exactly maxFrame: the largest legal frame.
-	f.Add(frame(maxFrame, append([]byte{MsgQuote}, make([]byte, maxFrame-1)...)))
-	// One past the boundary: declared maxFrame+1 (rejected before read).
-	f.Add(frame(maxFrame+1, make([]byte, maxFrame+1)))
+	// Exactly DefaultMaxFrame: the largest legal frame.
+	f.Add(frame(DefaultMaxFrame, append([]byte{MsgQuote}, make([]byte, DefaultMaxFrame-1)...)))
+	// One past the boundary: declared DefaultMaxFrame+1 (rejected before read).
+	f.Add(frame(DefaultMaxFrame+1, make([]byte, DefaultMaxFrame+1)))
 	// Declared huge, body tiny (must not allocate per the prefix and
 	// must not hang).
 	f.Add(frame(0xFFFFFFFF, []byte{1, 2, 3}))
@@ -32,20 +32,20 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frame(10, []byte{MsgError, 'x'}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, payload, err := readFrame(bytes.NewReader(data))
+		typ, payload, err := readFrame(bytes.NewReader(data), DefaultMaxFrame)
 		if err != nil {
 			return
 		}
 		// Invariants of an accepted frame: within bounds and
 		// reconstructible.
-		if len(payload)+1 > maxFrame {
-			t.Fatalf("accepted frame of %d bytes (> maxFrame)", len(payload)+1)
+		if len(payload)+1 > DefaultMaxFrame {
+			t.Fatalf("accepted frame of %d bytes (> DefaultMaxFrame)", len(payload)+1)
 		}
 		var buf bytes.Buffer
-		if werr := writeFrame(&buf, typ, payload); werr != nil {
+		if werr := writeFrame(&buf, DefaultMaxFrame, typ, payload); werr != nil {
 			t.Fatalf("accepted frame cannot be re-written: %v", werr)
 		}
-		typ2, payload2, rerr := readFrame(&buf)
+		typ2, payload2, rerr := readFrame(&buf, DefaultMaxFrame)
 		if rerr != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
 			t.Fatal("frame round-trip mismatch")
 		}
@@ -82,6 +82,41 @@ func FuzzUnmarshalChallenge(f *testing.F) {
 		}
 		if !bytes.Equal(b, data) {
 			t.Fatalf("challenge round-trip mismatch: %x != %x", b, data)
+		}
+	})
+}
+
+func FuzzUnmarshalHello(f *testing.F) {
+	// Valid hello.
+	if b, err := marshalHello(Hello{Device: "dev-1", Provider: "oem", TruncID: 7}); err == nil {
+		f.Add(b)
+	}
+	// Empty fields.
+	if b, err := marshalHello(Hello{}); err == nil {
+		f.Add(b)
+	}
+	// Maximum field lengths.
+	if b, err := marshalHello(Hello{Device: string(make([]byte, 255)), Provider: string(make([]byte, 255))}); err == nil {
+		f.Add(b)
+	}
+	// Length bytes promising more than the buffer holds.
+	f.Add([]byte{255, 'a'})
+	f.Add([]byte{1, 'a', 255, 'b'})
+	// Truncated trailer.
+	f.Add([]byte{0, 0, 1, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := unmarshalHello(data)
+		if err != nil {
+			return
+		}
+		b, merr := marshalHello(h)
+		if merr != nil {
+			t.Fatalf("accepted hello cannot be re-marshaled: %v", merr)
+		}
+		if !bytes.Equal(b, data) {
+			t.Fatalf("hello round-trip mismatch: %x != %x", b, data)
 		}
 	})
 }

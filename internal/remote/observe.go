@@ -92,7 +92,7 @@ func (t *TracedAttestor) Counts() (served, denied uint64) {
 }
 
 // RetryStats accumulates verifier-side accounting across AttestRetry
-// calls (hook it in through RetryConfig.Stats). Safe for concurrent
+// calls (hook it in through ClientOptions.Stats). Safe for concurrent
 // use; the zero value is ready.
 type RetryStats struct {
 	calls    uint64
@@ -131,8 +131,8 @@ func (s *RetryStats) Counts() (calls, attempts, retries, failures, refusals uint
 }
 
 // ServeStats accumulates device-side accounting across ServeConn calls
-// (hook it in through ServeConfig.Stats). Safe for concurrent use; the
-// zero value is ready.
+// (hook it in through ServerOptions.Stats). Safe for concurrent use;
+// the zero value is ready.
 type ServeStats struct {
 	exchanges   uint64 // completed exchanges (quote or protocol error reply)
 	frameErrors uint64 // malformed frames / oversized frames / bad challenges

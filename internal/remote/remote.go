@@ -13,12 +13,37 @@
 //	                   identity, 8-byte nonce
 //	device  → verifier MsgQuote:     wire-format quote (see
 //	                   trusted.Quote.Marshal)
-//	device  → verifier MsgError:     UTF-8 reason (unknown identity, …)
+//	device  → verifier MsgError:     UTF-8 reason (unknown identity,
+//	                   quarantined, …)
+//	device  → verifier MsgHello:     device name, provider, truncated
+//	                   identity — opens a device-initiated session
+//	verifier → device  MsgVerdict:   1-byte pass/fail plus UTF-8 reason —
+//	                   closes a device-initiated session
+//
+// Verifier-initiated attestation (the classic shape) starts with
+// MsgChallenge. Device-initiated attestation — the fleet shape, where
+// thousands of devices dial one verifier plane — starts with MsgHello;
+// the verifier answers with MsgChallenge (proceed) or MsgError
+// (refused: unknown device, quarantined, …), and after the quote closes
+// the session with MsgVerdict. The verdict makes the session
+// synchronous end to end: when AttestTo returns, the plane has fully
+// recorded the outcome, so a device's next session always sees its
+// up-to-date standing.
 //
 // The nonce is chosen by the verifier per challenge; a replayed quote
 // fails nonce verification. The channel needs no confidentiality: a
 // quote discloses only the (public) task identity, and its MAC can only
 // be produced by the device's Remote Attest component.
+//
+// # API
+//
+// The package surface is two types. Server is the device side: it owns
+// an Attestor and answers challenges (ServeOne, ServeConn, Serve) or
+// initiates a session toward a verifier plane (AttestTo). Client is the
+// verifier side: it owns a trusted.Verifier and drives exchanges
+// (Attest, AttestRetry) or answers device-initiated sessions
+// (AwaitHello, Challenge, Refuse). Deadlines, retry policy, frame
+// limits and stats all live in ServerOptions/ClientOptions.
 package remote
 
 import (
@@ -26,9 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 
-	"repro/internal/sha1"
 	"repro/internal/trusted"
 )
 
@@ -37,21 +60,37 @@ const (
 	MsgChallenge byte = 1
 	MsgQuote     byte = 2
 	MsgError     byte = 3
+	MsgHello     byte = 4
+	MsgVerdict   byte = 5
 )
 
-// maxFrame bounds frame sizes against malformed peers.
-const maxFrame = 4096
+// DefaultMaxFrame bounds frame sizes against malformed peers when the
+// options do not say otherwise. Fleet-sized quotes and future
+// certificate chains can raise the limit per Server/Client instead of
+// editing the package.
+const DefaultMaxFrame = 4096
 
 // Protocol errors.
 var (
 	ErrFrameTooLarge = errors.New("remote: frame exceeds limit")
 	ErrBadMessage    = errors.New("remote: malformed message")
 	ErrRemote        = errors.New("remote: device reported error")
+	// ErrRefused is the device-side view of a verifier plane answering a
+	// hello with MsgError: the plane will not attest this device
+	// (unknown, quarantined, …).
+	ErrRefused = errors.New("remote: verifier refused attestation")
+	// ErrDenied is the device-side view of a failed MsgVerdict: the
+	// session completed but the plane's appraisal rejected the quote.
+	ErrDenied = errors.New("remote: verifier denied attestation")
 )
 
-// writeFrame sends one framed message.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload)+1 > maxFrame {
+// writeFrame sends one framed message no larger than max bytes
+// (type byte included; max <= 0 means DefaultMaxFrame).
+func writeFrame(w io.Writer, max int, typ byte, payload []byte) error {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	if len(payload)+1 > max {
 		return ErrFrameTooLarge
 	}
 	var hdr [5]byte
@@ -64,14 +103,18 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame receives one framed message.
-func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+// readFrame receives one framed message, rejecting frames larger than
+// max bytes before allocating (max <= 0 means DefaultMaxFrame).
+func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
+	if n == 0 || n > uint32(max) {
 		return 0, nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
@@ -122,6 +165,53 @@ func unmarshalChallenge(b []byte) (Challenge, error) {
 	}, nil
 }
 
+// Hello opens a device-initiated attestation session: the device names
+// itself, the provider whose key it will quote under, and the truncated
+// identity of the task it offers to attest. The verifier plane answers
+// with a challenge (proceed) or an error frame (refused).
+type Hello struct {
+	// Device is the fleet-unique device name.
+	Device string
+	// Provider selects the attestation key the device will quote under.
+	Provider string
+	// TruncID is the truncated identity of the task the device offers.
+	TruncID uint64
+}
+
+// marshalHello encodes a hello payload.
+func marshalHello(h Hello) ([]byte, error) {
+	if len(h.Device) > 255 || len(h.Provider) > 255 {
+		return nil, fmt.Errorf("%w: hello field too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+len(h.Device)+len(h.Provider)+8)
+	out = append(out, byte(len(h.Device)))
+	out = append(out, h.Device...)
+	out = append(out, byte(len(h.Provider)))
+	out = append(out, h.Provider...)
+	out = binary.LittleEndian.AppendUint64(out, h.TruncID)
+	return out, nil
+}
+
+// unmarshalHello decodes a hello payload.
+func unmarshalHello(b []byte) (Hello, error) {
+	if len(b) < 1 {
+		return Hello{}, ErrBadMessage
+	}
+	dl := int(b[0])
+	if len(b) < 1+dl+1 {
+		return Hello{}, ErrBadMessage
+	}
+	pl := int(b[1+dl])
+	if len(b) != 1+dl+1+pl+8 {
+		return Hello{}, ErrBadMessage
+	}
+	return Hello{
+		Device:   string(b[1 : 1+dl]),
+		Provider: string(b[2+dl : 2+dl+pl]),
+		TruncID:  binary.LittleEndian.Uint64(b[2+dl+pl:]),
+	}, nil
+}
+
 // Attestor is the device-side capability the server needs: resolve a
 // truncated identity and quote the task under a provider key.
 // *core.Platform satisfies it through the thin adapter below;
@@ -145,94 +235,4 @@ func (a ComponentsAttestor) QuoteByTruncID(provider string, trunc, nonce uint64)
 		return trusted.Quote{}, err
 	}
 	return a.C.Attest.QuoteTaskForProvider(provider, e.Task.ID, nonce)
-}
-
-// ServeOne handles a single challenge/response exchange on conn with
-// the default I/O deadline. The device side calls it per connection;
-// persistent connections use ServeConn.
-func ServeOne(conn net.Conn, att Attestor) error {
-	return ServeOneTimeout(conn, att, DefaultIOTimeout)
-}
-
-// serveExchange is one challenge/response exchange (no deadline
-// handling; the callers wrap it).
-func serveExchange(conn net.Conn, att Attestor) error {
-	typ, payload, err := readFrame(conn)
-	if err != nil {
-		return err
-	}
-	if typ != MsgChallenge {
-		writeFrame(conn, MsgError, []byte("expected challenge"))
-		return fmt.Errorf("%w: type %d", ErrBadMessage, typ)
-	}
-	ch, err := unmarshalChallenge(payload)
-	if err != nil {
-		writeFrame(conn, MsgError, []byte("bad challenge"))
-		return err
-	}
-	q, err := att.QuoteByTruncID(ch.Provider, ch.TruncID, ch.Nonce)
-	if err != nil {
-		writeFrame(conn, MsgError, []byte(err.Error()))
-		return nil // the protocol handled it; not a server failure
-	}
-	return writeFrame(conn, MsgQuote, q.Marshal())
-}
-
-// Serve accepts connections on l and answers one challenge per
-// connection until Accept fails (listener closed). A misbehaving
-// connection — malformed frames, stalls past the deadline — is dropped
-// and serving continues; one bad peer cannot take the attestation
-// service down for everyone else.
-func Serve(l net.Listener, att Attestor) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		ServeOne(conn, att)
-		conn.Close()
-	}
-}
-
-// Attest runs the verifier side of one exchange on conn with the
-// default I/O deadline: send the challenge, receive the quote, verify
-// it against the expected full identity using the given verifier. It
-// returns the verified quote. Flaky-network callers use AttestRetry.
-func Attest(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64) (trusted.Quote, error) {
-	return AttestTimeout(conn, v, provider, expected, nonce, DefaultIOTimeout)
-}
-
-// attestExchange is the verifier side of one exchange (no deadline
-// handling; the callers wrap it).
-func attestExchange(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64) (trusted.Quote, error) {
-	payload, err := marshalChallenge(Challenge{
-		Provider: provider,
-		TruncID:  expected.TruncatedID(),
-		Nonce:    nonce,
-	})
-	if err != nil {
-		return trusted.Quote{}, err
-	}
-	if err := writeFrame(conn, MsgChallenge, payload); err != nil {
-		return trusted.Quote{}, err
-	}
-	typ, resp, err := readFrame(conn)
-	if err != nil {
-		return trusted.Quote{}, err
-	}
-	switch typ {
-	case MsgQuote:
-		q, err := trusted.UnmarshalQuote(resp)
-		if err != nil {
-			return trusted.Quote{}, err
-		}
-		if err := v.Verify(q, expected, nonce); err != nil {
-			return trusted.Quote{}, err
-		}
-		return q, nil
-	case MsgError:
-		return trusted.Quote{}, fmt.Errorf("%w: %s", ErrRemote, resp)
-	default:
-		return trusted.Quote{}, fmt.Errorf("%w: type %d", ErrBadMessage, typ)
-	}
 }

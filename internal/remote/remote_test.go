@@ -45,14 +45,19 @@ func devicePlatform(t *testing.T) (*core.Platform, *trusted.RegistryEntry) {
 	return p, e
 }
 
+func oemClient(p *core.Platform, opt ClientOptions) *Client {
+	return NewClient(p.Provider("oem").Verifier(), "oem", opt)
+}
+
 // exchange runs one ServeOne/Attest pair over an in-memory pipe.
-func exchange(t *testing.T, p *core.Platform, provider string, expected trusted.Quote, doVerify func(net.Conn) error) error {
+func exchange(t *testing.T, p *core.Platform, doVerify func(net.Conn) error) error {
 	t.Helper()
 	devConn, verConn := net.Pipe()
 	done := make(chan error, 1)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
 	go func() {
 		defer devConn.Close()
-		done <- ServeOne(devConn, ComponentsAttestor{C: p.C})
+		done <- srv.ServeOne(devConn)
 	}()
 	verr := doVerify(verConn)
 	verConn.Close()
@@ -64,9 +69,9 @@ func exchange(t *testing.T, p *core.Platform, provider string, expected trusted.
 
 func TestAttestOverWire(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
-	err := exchange(t, p, "oem", trusted.Quote{}, func(conn net.Conn) error {
-		q, err := Attest(conn, v, "oem", e.ID, 0xA1B2)
+	c := oemClient(p, ClientOptions{})
+	err := exchange(t, p, func(conn net.Conn) error {
+		q, err := c.Attest(conn, e.ID, 0xA1B2)
 		if err != nil {
 			return err
 		}
@@ -82,11 +87,11 @@ func TestAttestOverWire(t *testing.T) {
 
 func TestAttestUnknownIdentity(t *testing.T) {
 	p, _ := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
+	c := oemClient(p, ClientOptions{})
 	im, _ := asm.Assemble(".task \"ghost\"\n.entry e\n.text\ne:\n hlt\n")
 	ghost := trusted.IdentityOfImage(im)
-	err := exchange(t, p, "oem", trusted.Quote{}, func(conn net.Conn) error {
-		_, err := Attest(conn, v, "oem", ghost, 1)
+	err := exchange(t, p, func(conn net.Conn) error {
+		_, err := c.Attest(conn, ghost, 1)
 		return err
 	})
 	if !errors.Is(err, ErrRemote) {
@@ -101,9 +106,9 @@ func TestAttestWrongProviderKey(t *testing.T) {
 	p, e := devicePlatform(t)
 	// Verifier holds a different provider's key than it asks the device
 	// to quote under: the MAC will not verify.
-	v := p.VerifierForProvider("someone-else")
-	err := exchange(t, p, "oem", trusted.Quote{}, func(conn net.Conn) error {
-		_, err := Attest(conn, v, "oem", e.ID, 7)
+	c := NewClient(p.Provider("someone-else").Verifier(), "oem", ClientOptions{})
+	err := exchange(t, p, func(conn net.Conn) error {
+		_, err := c.Attest(conn, e.ID, 7)
 		return err
 	})
 	if !errors.Is(err, trusted.ErrQuoteInvalid) {
@@ -113,12 +118,13 @@ func TestAttestWrongProviderKey(t *testing.T) {
 
 func TestReplayAcrossNonces(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
+	c := oemClient(p, ClientOptions{})
+	v := p.Provider("oem").Verifier()
 	// Capture a quote at nonce 5, try to pass it off at nonce 6 by
 	// replaying the raw frames through a recording proxy.
 	var recorded []byte
-	err := exchange(t, p, "oem", trusted.Quote{}, func(conn net.Conn) error {
-		q, err := Attest(conn, v, "oem", e.ID, 5)
+	err := exchange(t, p, func(conn net.Conn) error {
+		q, err := c.Attest(conn, e.ID, 5)
 		if err != nil {
 			return err
 		}
@@ -144,15 +150,15 @@ func TestServeOverTCP(t *testing.T) {
 		t.Skipf("no loopback: %v", err)
 	}
 	defer l.Close()
-	go Serve(l, ComponentsAttestor{C: p.C})
+	go NewServer(ComponentsAttestor{C: p.C}, ServerOptions{}).Serve(l)
 
-	v := p.VerifierForProvider("oem")
+	c := oemClient(p, ClientOptions{})
 	for nonce := uint64(1); nonce <= 3; nonce++ {
 		conn, err := net.Dial("tcp", l.Addr().String())
 		if err != nil {
 			t.Fatal(err)
 		}
-		q, err := Attest(conn, v, "oem", e.ID, nonce)
+		q, err := c.Attest(conn, e.ID, nonce)
 		conn.Close()
 		if err != nil {
 			t.Fatalf("nonce %d: %v", nonce, err)
@@ -181,19 +187,137 @@ func TestChallengeRoundTripQuick(t *testing.T) {
 	}
 }
 
-func TestMalformedFrames(t *testing.T) {
-	p, _ := devicePlatform(t)
+func TestHelloRoundTripQuick(t *testing.T) {
+	f := func(device, provider string, trunc uint64) bool {
+		if len(device) > 255 {
+			device = device[:255]
+		}
+		if len(provider) > 255 {
+			provider = provider[:255]
+		}
+		h := Hello{Device: device, Provider: provider, TruncID: trunc}
+		b, err := marshalHello(h)
+		if err != nil {
+			return false
+		}
+		out, err := unmarshalHello(b)
+		return err == nil && out == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttestToChallenged: a device-initiated session against a plane
+// that accepts the hello and challenges; the device's quote MAC-checks
+// and carries the expected identity.
+func TestAttestToChallenged(t *testing.T) {
+	p, e := devicePlatform(t)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
+	c := oemClient(p, ClientOptions{})
 	devConn, verConn := net.Pipe()
 	done := make(chan error, 1)
 	go func() {
 		defer devConn.Close()
-		done <- ServeOne(devConn, ComponentsAttestor{C: p.C})
+		done <- srv.AttestTo(devConn, Hello{Device: "dev-0", Provider: "oem", TruncID: e.ID.TruncatedID()})
+	}()
+	h, err := c.AwaitHello(verConn)
+	if err != nil {
+		t.Fatalf("await hello: %v", err)
+	}
+	if h.Device != "dev-0" || h.Provider != "oem" || h.TruncID != e.ID.TruncatedID() {
+		t.Fatalf("hello = %+v", h)
+	}
+	q, err := c.Challenge(verConn, h.TruncID, 99)
+	if err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if q.ID != e.ID || q.Nonce != 99 {
+		t.Errorf("quote = %+v", q)
+	}
+	if err := c.Verdict(verConn, true, ""); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	verConn.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("device side: %v", err)
+	}
+}
+
+// TestAttestToDenied: a failed appraisal verdict surfaces as ErrDenied
+// on the device, wrapping the plane's reason.
+func TestAttestToDenied(t *testing.T) {
+	p, e := devicePlatform(t)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
+	c := oemClient(p, ClientOptions{})
+	devConn, verConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer devConn.Close()
+		done <- srv.AttestTo(devConn, Hello{Device: "dev-0", Provider: "oem", TruncID: e.ID.TruncatedID()})
+	}()
+	h, err := c.AwaitHello(verConn)
+	if err != nil {
+		t.Fatalf("await hello: %v", err)
+	}
+	if _, err := c.Challenge(verConn, h.TruncID, 7); err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if err := c.Verdict(verConn, false, "unknown measurement"); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	verConn.Close()
+	err = <-done
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("device side = %v, want ErrDenied", err)
+	}
+	if !strings.Contains(err.Error(), "unknown measurement") {
+		t.Errorf("reason lost: %v", err)
+	}
+}
+
+// TestAttestToRefused: a plane that refuses the hello surfaces as
+// ErrRefused on the device, wrapping the plane's reason.
+func TestAttestToRefused(t *testing.T) {
+	p, e := devicePlatform(t)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
+	c := oemClient(p, ClientOptions{})
+	devConn, verConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer devConn.Close()
+		done <- srv.AttestTo(devConn, Hello{Device: "dev-9", Provider: "oem", TruncID: e.ID.TruncatedID()})
+	}()
+	if _, err := c.AwaitHello(verConn); err != nil {
+		t.Fatalf("await hello: %v", err)
+	}
+	if err := c.Refuse(verConn, "device quarantined"); err != nil {
+		t.Fatalf("refuse: %v", err)
+	}
+	verConn.Close()
+	err := <-done
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("device err = %v, want ErrRefused", err)
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("refusal reason lost: %v", err)
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	p, _ := devicePlatform(t)
+	devConn, verConn := net.Pipe()
+	done := make(chan error, 1)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
+	go func() {
+		defer devConn.Close()
+		done <- srv.ServeOne(devConn)
 	}()
 	// Send a non-challenge frame.
-	if err := writeFrame(verConn, MsgQuote, []byte("junk")); err != nil {
+	if err := writeFrame(verConn, DefaultMaxFrame, MsgQuote, []byte("junk")); err != nil {
 		t.Fatal(err)
 	}
-	typ, payload, err := readFrame(verConn)
+	typ, payload, err := readFrame(verConn, DefaultMaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,18 +331,54 @@ func TestMalformedFrames(t *testing.T) {
 }
 
 func TestFrameLimits(t *testing.T) {
-	if err := writeFrame(discard{}, MsgQuote, make([]byte, maxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+	if err := writeFrame(discard{}, DefaultMaxFrame, MsgQuote, make([]byte, DefaultMaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized write = %v", err)
 	}
 	// Oversized length prefix on read.
 	r := strings.NewReader("\xff\xff\xff\xff")
-	if _, _, err := readFrame(r); !errors.Is(err, ErrFrameTooLarge) {
+	if _, _, err := readFrame(r, DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized read = %v", err)
 	}
 	// Zero-length frame.
 	r = strings.NewReader("\x00\x00\x00\x00")
-	if _, _, err := readFrame(r); !errors.Is(err, ErrFrameTooLarge) {
+	if _, _, err := readFrame(r, DefaultMaxFrame); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("zero frame = %v", err)
+	}
+}
+
+// TestMaxFrameOption: the frame limit is per Server/Client, not a
+// package constant. A server with a small limit rejects frames a
+// default client would send; a client with a raised limit accepts
+// frames beyond DefaultMaxFrame.
+func TestMaxFrameOption(t *testing.T) {
+	p, e := devicePlatform(t)
+	// Server limited to 16-byte frames: the client's challenge (> 16
+	// bytes with the provider string) is rejected on read and answered
+	// with nothing — the client sees the pipe close.
+	devConn, verConn := net.Pipe()
+	done := make(chan error, 1)
+	small := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{MaxFrame: 16})
+	go func() {
+		defer devConn.Close()
+		done <- small.ServeOne(devConn)
+	}()
+	c := oemClient(p, ClientOptions{})
+	if _, err := c.Attest(verConn, e.ID, 1); err == nil {
+		t.Error("attest succeeded against a server that cannot read the challenge")
+	}
+	verConn.Close()
+	if err := <-done; !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("server err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A raised limit carries payloads DefaultMaxFrame would reject —
+	// same writer, bigger budget.
+	big := make([]byte, DefaultMaxFrame+100)
+	if err := writeFrame(discard{}, DefaultMaxFrame, MsgQuote, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("default limit accepted oversize frame: %v", err)
+	}
+	if err := writeFrame(discard{}, 2*DefaultMaxFrame, MsgQuote, big); err != nil {
+		t.Errorf("raised limit rejected in-budget frame: %v", err)
 	}
 }
 

@@ -3,20 +3,15 @@ package remote
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
-	"sync/atomic"
 	"time"
-
-	"repro/internal/sha1"
-	"repro/internal/trusted"
 )
 
 // Robustness layer: deadlines on every exchange, bounded retry with
-// exponential backoff on the verifier side, and a per-connection error
-// budget on the device side. A flaky or hostile network can delay an
-// attestation verdict but can never hang either endpoint or wedge the
-// server on one bad peer.
+// exponential backoff on the verifier side (Client.AttestRetry), and a
+// per-connection error budget on the device side (Server.ServeConn). A
+// flaky or hostile network can delay an attestation verdict but can
+// never hang either endpoint or wedge the server on one bad peer.
 
 // DefaultIOTimeout bounds one exchange's network I/O when the caller
 // does not specify a deadline.
@@ -56,170 +51,4 @@ func withDeadline(conn net.Conn, d time.Duration, f func() error) error {
 		defer conn.SetDeadline(time.Time{})
 	}
 	return wrapTimeout(f())
-}
-
-// ServeConfig parameterizes persistent-connection serving.
-type ServeConfig struct {
-	// Timeout bounds each exchange's I/O (0 = DefaultIOTimeout).
-	Timeout time.Duration
-	// ErrorBudget is how many protocol errors (malformed frames, bad
-	// challenges) one connection may produce before it is dropped
-	// (0 = 3).
-	ErrorBudget int
-	// Stats, when non-nil, accumulates exchange/error accounting.
-	Stats *ServeStats
-}
-
-func (c ServeConfig) withDefaults() ServeConfig {
-	if c.Timeout == 0 {
-		c.Timeout = DefaultIOTimeout
-	}
-	if c.ErrorBudget == 0 {
-		c.ErrorBudget = 3
-	}
-	return c
-}
-
-// ServeConn answers challenges on a persistent connection until the
-// peer closes it, an exchange times out, a transport error occurs, or
-// the connection exhausts its protocol-error budget. It returns nil on
-// clean shutdown (EOF).
-func ServeConn(conn net.Conn, att Attestor, cfg ServeConfig) error {
-	cfg = cfg.withDefaults()
-	protoErrs := 0
-	for {
-		err := ServeOneTimeout(conn, att, cfg.Timeout)
-		switch {
-		case err == nil:
-			if cfg.Stats != nil {
-				atomic.AddUint64(&cfg.Stats.exchanges, 1)
-			}
-			continue
-		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
-			return nil
-		case errors.Is(err, ErrTimeout):
-			if cfg.Stats != nil {
-				atomic.AddUint64(&cfg.Stats.timeouts, 1)
-			}
-			return err
-		case errors.Is(err, ErrBadMessage), errors.Is(err, ErrFrameTooLarge):
-			protoErrs++
-			if cfg.Stats != nil {
-				atomic.AddUint64(&cfg.Stats.frameErrors, 1)
-			}
-			if protoErrs >= cfg.ErrorBudget {
-				if cfg.Stats != nil {
-					atomic.AddUint64(&cfg.Stats.drops, 1)
-				}
-				return fmt.Errorf("%w: %d protocol errors", ErrErrorBudget, protoErrs)
-			}
-		default:
-			return err
-		}
-	}
-}
-
-// RetryConfig parameterizes the verifier's bounded retry.
-type RetryConfig struct {
-	// Attempts is the total number of tries (0 = 3).
-	Attempts int
-	// Backoff is the delay before the second attempt; it doubles per
-	// attempt (0 = 10ms).
-	Backoff time.Duration
-	// Timeout bounds each attempt's I/O (0 = DefaultIOTimeout).
-	Timeout time.Duration
-	// WallBudget bounds the total time the loop may spend in backoff
-	// sleeps across all attempts (0 = unbounded). The budget is
-	// accounted from the backoff schedule itself, never from a host
-	// clock read, so retry behaviour stays deterministic under test
-	// fakes and inside the simulator's determinism vet.
-	WallBudget time.Duration
-	// Sleep is injectable for tests (nil = time.Sleep).
-	Sleep func(time.Duration)
-	// Stats, when non-nil, accumulates retry accounting.
-	Stats *RetryStats
-}
-
-func (c RetryConfig) withDefaults() RetryConfig {
-	if c.Attempts == 0 {
-		c.Attempts = 3
-	}
-	if c.Backoff == 0 {
-		c.Backoff = 10 * time.Millisecond
-	}
-	if c.Timeout == 0 {
-		c.Timeout = DefaultIOTimeout
-	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
-	}
-	return c
-}
-
-// AttestRetry runs the verifier side with bounded retry: each attempt
-// dials a fresh connection, uses a fresh nonce (base nonce + attempt
-// index, so a replayed or delayed quote from a failed attempt can never
-// satisfy a later one), and bounds its I/O with a deadline. Transport
-// and protocol failures are retried with exponential backoff; an
-// authoritative device answer — a verified quote or an explicit device
-// error (ErrRemote) — ends the loop immediately. When cfg.WallBudget is
-// set, the loop additionally refuses to start a backoff sleep that
-// would push the accumulated backoff past the budget, failing with
-// ErrRetryBudget instead. Returns the quote, the number of attempts
-// used, and the final error.
-func AttestRetry(dial func() (net.Conn, error), v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64, cfg RetryConfig) (trusted.Quote, int, error) {
-	cfg = cfg.withDefaults()
-	var lastErr error
-	var slept time.Duration
-	backoff := cfg.Backoff
-	for attempt := 0; attempt < cfg.Attempts; attempt++ {
-		if attempt > 0 {
-			if cfg.WallBudget > 0 && slept+backoff > cfg.WallBudget {
-				err := fmt.Errorf("%w after %d of %d attempts (%v backoff spent, %v budget): %w",
-					ErrRetryBudget, attempt, cfg.Attempts, slept, cfg.WallBudget, lastErr)
-				cfg.Stats.record(attempt, err)
-				return trusted.Quote{}, attempt, err
-			}
-			cfg.Sleep(backoff)
-			slept += backoff
-			backoff *= 2
-		}
-		conn, err := dial()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		q, err := AttestTimeout(conn, v, provider, expected, nonce+uint64(attempt), cfg.Timeout)
-		conn.Close()
-		if err == nil {
-			cfg.Stats.record(attempt+1, nil)
-			return q, attempt + 1, nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrRemote) {
-			// The device answered: the task is not attestable. Retrying
-			// cannot change an authoritative refusal.
-			cfg.Stats.record(attempt+1, err)
-			return trusted.Quote{}, attempt + 1, err
-		}
-	}
-	err := fmt.Errorf("remote: attestation failed after %d attempts: %w", cfg.Attempts, lastErr)
-	cfg.Stats.record(cfg.Attempts, err)
-	return trusted.Quote{}, cfg.Attempts, err
-}
-
-// ServeOneTimeout is ServeOne with an explicit per-exchange deadline.
-func ServeOneTimeout(conn net.Conn, att Attestor, d time.Duration) error {
-	return withDeadline(conn, d, func() error { return serveExchange(conn, att) })
-}
-
-// AttestTimeout is Attest with an explicit per-exchange deadline.
-func AttestTimeout(conn net.Conn, v *trusted.Verifier, provider string, expected sha1.Digest, nonce uint64, d time.Duration) (trusted.Quote, error) {
-	var q trusted.Quote
-	err := withDeadline(conn, d, func() error {
-		var aerr error
-		q, aerr = attestExchange(conn, v, provider, expected, nonce)
-		return aerr
-	})
-	return q, err
 }

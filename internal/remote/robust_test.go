@@ -15,11 +15,11 @@ import (
 // reads) cannot hang the verifier past its deadline.
 func TestAttestTimesOutOnSilentPeer(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
+	c := oemClient(p, ClientOptions{Timeout: 50 * time.Millisecond})
 	// No server goroutine: the pipe blocks forever.
 	_, verConn := net.Pipe()
 	defer verConn.Close()
-	_, err := AttestTimeout(verConn, v, "oem", e.ID, 1, 50*time.Millisecond)
+	_, err := c.Attest(verConn, e.ID, 1)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -32,7 +32,8 @@ func TestServeOneTimesOutOnSilentClient(t *testing.T) {
 	devConn, verConn := net.Pipe()
 	defer verConn.Close()
 	defer devConn.Close()
-	err := ServeOneTimeout(devConn, ComponentsAttestor{C: p.C}, 50*time.Millisecond)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{Timeout: 50 * time.Millisecond})
+	err := srv.ServeOne(devConn)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -42,14 +43,15 @@ func TestServeOneTimesOutOnSilentClient(t *testing.T) {
 // clean shutdown.
 func TestServeConnPersistent(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
+	c := oemClient(p, ClientOptions{})
 	devConn, verConn := net.Pipe()
 	done := make(chan error, 1)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{})
 	go func() {
-		done <- ServeConn(devConn, ComponentsAttestor{C: p.C}, ServeConfig{})
+		done <- srv.ServeConn(devConn)
 	}()
 	for nonce := uint64(1); nonce <= 3; nonce++ {
-		q, err := Attest(verConn, v, "oem", e.ID, nonce)
+		q, err := c.Attest(verConn, e.ID, nonce)
 		if err != nil {
 			t.Fatalf("nonce %d: %v", nonce, err)
 		}
@@ -69,15 +71,16 @@ func TestServeConnErrorBudget(t *testing.T) {
 	p, _ := devicePlatform(t)
 	devConn, verConn := net.Pipe()
 	done := make(chan error, 1)
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{ErrorBudget: 3})
 	go func() {
-		done <- ServeConn(devConn, ComponentsAttestor{C: p.C}, ServeConfig{ErrorBudget: 3})
+		done <- srv.ServeConn(devConn)
 	}()
 	for i := 0; i < 3; i++ {
-		if err := writeFrame(verConn, MsgQuote, []byte("junk")); err != nil {
+		if err := writeFrame(verConn, DefaultMaxFrame, MsgQuote, []byte("junk")); err != nil {
 			t.Fatal(err)
 		}
 		// Drain the error reply so the pipe does not block.
-		if typ, _, err := readFrame(verConn); err != nil || typ != MsgError {
+		if typ, _, err := readFrame(verConn, DefaultMaxFrame); err != nil || typ != MsgError {
 			t.Fatalf("reply %d: type %d err %v", i, typ, err)
 		}
 	}
@@ -91,6 +94,7 @@ func TestServeConnErrorBudget(t *testing.T) {
 // pipeDialer dials a fresh in-memory connection to a ServeOne instance,
 // failing the first failures dials.
 func pipeDialer(att Attestor, failures int) (func() (net.Conn, error), *int) {
+	srv := NewServer(att, ServerOptions{})
 	dials := 0
 	dial := func() (net.Conn, error) {
 		dials++
@@ -99,7 +103,7 @@ func pipeDialer(att Attestor, failures int) (func() (net.Conn, error), *int) {
 		}
 		devConn, verConn := net.Pipe()
 		go func() {
-			ServeOne(devConn, att)
+			srv.ServeOne(devConn)
 			devConn.Close()
 		}()
 		return verConn, nil
@@ -112,14 +116,14 @@ func pipeDialer(att Attestor, failures int) (func() (net.Conn, error), *int) {
 // nonce.
 func TestAttestRetryRecoversFromFlakyDials(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
 	dial, dials := pipeDialer(ComponentsAttestor{C: p.C}, 2)
 	var sleeps []time.Duration
-	q, attempts, err := AttestRetry(dial, v, "oem", e.ID, 100, RetryConfig{
+	c := oemClient(p, ClientOptions{
 		Attempts: 4,
 		Backoff:  time.Millisecond,
 		Sleep:    func(d time.Duration) { sleeps = append(sleeps, d) },
 	})
+	q, attempts, err := c.AttestRetry(dial, e.ID, 100)
 	if err != nil {
 		t.Fatalf("retry failed: %v", err)
 	}
@@ -145,18 +149,18 @@ func TestAttestRetryRecoversFromFlakyDials(t *testing.T) {
 // "unknown identity" is believed the first time; retrying is pointless.
 func TestAttestRetryStopsOnAuthoritativeRefusal(t *testing.T) {
 	p, _ := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
 	dial, dials := pipeDialer(ComponentsAttestor{C: p.C}, 0)
 	im, err2 := asm.Assemble(".task \"ghost2\"\n.entry e\n.text\ne:\n hlt\n")
 	if err2 != nil {
 		t.Fatal(err2)
 	}
 	ghost := trusted.IdentityOfImage(im)
-	_, attempts, err := AttestRetry(dial, v, "oem", ghost, 1, RetryConfig{
+	c := oemClient(p, ClientOptions{
 		Attempts: 5,
 		Backoff:  time.Millisecond,
 		Sleep:    func(time.Duration) {},
 	})
+	_, attempts, err := c.AttestRetry(dial, ghost, 1)
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
@@ -169,13 +173,13 @@ func TestAttestRetryStopsOnAuthoritativeRefusal(t *testing.T) {
 // error reports the bounded attempt count.
 func TestAttestRetryExhausts(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
 	dial, dials := pipeDialer(ComponentsAttestor{C: p.C}, 100) // always refuse
-	_, attempts, err := AttestRetry(dial, v, "oem", e.ID, 1, RetryConfig{
+	c := oemClient(p, ClientOptions{
 		Attempts: 3,
 		Backoff:  time.Millisecond,
 		Sleep:    func(time.Duration) {},
 	})
+	_, attempts, err := c.AttestRetry(dial, e.ID, 1)
 	if err == nil {
 		t.Fatal("retry succeeded against a dead network")
 	}
@@ -190,7 +194,6 @@ func TestAttestRetryExhausts(t *testing.T) {
 // never oversleeping the budget.
 func TestAttestRetryWallBudget(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
 	errDown := errors.New("network down")
 	dials := 0
 	dial := func() (net.Conn, error) {
@@ -200,12 +203,13 @@ func TestAttestRetryWallBudget(t *testing.T) {
 	var sleeps []time.Duration
 	// Backoff schedule 1,2,4,8… ms: 1ms and 2ms fit in the 4ms budget,
 	// the 4ms third sleep would total 7ms — refused.
-	_, attempts, err := AttestRetry(dial, v, "oem", e.ID, 1, RetryConfig{
+	c := oemClient(p, ClientOptions{
 		Attempts:   8,
 		Backoff:    time.Millisecond,
 		WallBudget: 4 * time.Millisecond,
 		Sleep:      func(d time.Duration) { sleeps = append(sleeps, d) },
 	})
+	_, attempts, err := c.AttestRetry(dial, e.ID, 1)
 	if !errors.Is(err, ErrRetryBudget) {
 		t.Fatalf("err = %v, want ErrRetryBudget", err)
 	}
@@ -228,14 +232,14 @@ func TestAttestRetryWallBudget(t *testing.T) {
 // schedule changes nothing — flaky dials still recover.
 func TestAttestRetryWallBudgetGenerous(t *testing.T) {
 	p, e := devicePlatform(t)
-	v := p.VerifierForProvider("oem")
 	dial, dials := pipeDialer(ComponentsAttestor{C: p.C}, 2)
-	q, attempts, err := AttestRetry(dial, v, "oem", e.ID, 50, RetryConfig{
+	c := oemClient(p, ClientOptions{
 		Attempts:   4,
 		Backoff:    time.Millisecond,
 		WallBudget: time.Second,
 		Sleep:      func(time.Duration) {},
 	})
+	q, attempts, err := c.AttestRetry(dial, e.ID, 50)
 	if err != nil {
 		t.Fatalf("retry failed under a generous budget: %v", err)
 	}

@@ -1,0 +1,201 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ServerOptions parameterizes the device side of the protocol. The zero
+// value is ready: default deadline, default error budget, default frame
+// limit, no stats.
+type ServerOptions struct {
+	// Timeout bounds each exchange's I/O (0 = DefaultIOTimeout).
+	Timeout time.Duration
+	// ErrorBudget is how many protocol errors (malformed frames, bad
+	// challenges) one persistent connection may produce before it is
+	// dropped (0 = 3).
+	ErrorBudget int
+	// MaxFrame bounds frame sizes in both directions, type byte
+	// included (0 = DefaultMaxFrame). Oversize frames are rejected with
+	// ErrFrameTooLarge.
+	MaxFrame int
+	// Stats, when non-nil, accumulates exchange/error accounting.
+	Stats *ServeStats
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Timeout == 0 {
+		o.Timeout = DefaultIOTimeout
+	}
+	if o.ErrorBudget == 0 {
+		o.ErrorBudget = 3
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	return o
+}
+
+// Server is the device side of the wire protocol: it owns an Attestor
+// and answers verifier challenges, or initiates sessions toward a
+// verifier plane with AttestTo. Safe for concurrent use across
+// connections.
+type Server struct {
+	att Attestor
+	opt ServerOptions
+}
+
+// NewServer builds a device-side server around att.
+func NewServer(att Attestor, opt ServerOptions) *Server {
+	return &Server{att: att, opt: opt.withDefaults()}
+}
+
+// Options returns the server's resolved options (defaults applied).
+func (s *Server) Options() ServerOptions { return s.opt }
+
+// ServeOne handles a single challenge/response exchange on conn under
+// the server's I/O deadline.
+func (s *Server) ServeOne(conn net.Conn) error {
+	return withDeadline(conn, s.opt.Timeout, func() error { return s.serveExchange(conn) })
+}
+
+// serveExchange is one challenge/response exchange (no deadline
+// handling; the callers wrap it).
+func (s *Server) serveExchange(conn net.Conn) error {
+	typ, payload, err := readFrame(conn, s.opt.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if typ != MsgChallenge {
+		writeFrame(conn, s.opt.MaxFrame, MsgError, []byte("expected challenge"))
+		return fmt.Errorf("%w: type %d", ErrBadMessage, typ)
+	}
+	ch, err := unmarshalChallenge(payload)
+	if err != nil {
+		writeFrame(conn, s.opt.MaxFrame, MsgError, []byte("bad challenge"))
+		return err
+	}
+	return s.answer(conn, ch)
+}
+
+// answer quotes the challenged task and writes the reply frame.
+func (s *Server) answer(conn net.Conn, ch Challenge) error {
+	q, err := s.att.QuoteByTruncID(ch.Provider, ch.TruncID, ch.Nonce)
+	if err != nil {
+		writeFrame(conn, s.opt.MaxFrame, MsgError, []byte(err.Error()))
+		return nil // the protocol handled it; not a server failure
+	}
+	return writeFrame(conn, s.opt.MaxFrame, MsgQuote, q.Marshal())
+}
+
+// ServeConn answers challenges on a persistent connection until the
+// peer closes it, an exchange times out, a transport error occurs, or
+// the connection exhausts its protocol-error budget. It returns nil on
+// clean shutdown (EOF).
+func (s *Server) ServeConn(conn net.Conn) error {
+	protoErrs := 0
+	for {
+		err := s.ServeOne(conn)
+		switch {
+		case err == nil:
+			if s.opt.Stats != nil {
+				atomic.AddUint64(&s.opt.Stats.exchanges, 1)
+			}
+			continue
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			return nil
+		case errors.Is(err, ErrTimeout):
+			if s.opt.Stats != nil {
+				atomic.AddUint64(&s.opt.Stats.timeouts, 1)
+			}
+			return err
+		case errors.Is(err, ErrBadMessage), errors.Is(err, ErrFrameTooLarge):
+			protoErrs++
+			if s.opt.Stats != nil {
+				atomic.AddUint64(&s.opt.Stats.frameErrors, 1)
+			}
+			if protoErrs >= s.opt.ErrorBudget {
+				if s.opt.Stats != nil {
+					atomic.AddUint64(&s.opt.Stats.drops, 1)
+				}
+				return fmt.Errorf("%w: %d protocol errors", ErrErrorBudget, protoErrs)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// Serve accepts connections on l and answers one challenge per
+// connection until Accept fails (listener closed). A misbehaving
+// connection — malformed frames, stalls past the deadline — is dropped
+// and serving continues; one bad peer cannot take the attestation
+// service down for everyone else.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.ServeOne(conn)
+		conn.Close()
+	}
+}
+
+// AttestTo runs a device-initiated session on conn: send the hello,
+// answer the verifier plane's challenge, and wait for its verdict. A
+// plane that refuses the hello (MsgError) surfaces as ErrRefused; a
+// failed appraisal (MsgVerdict fail) as ErrDenied — both wrapping the
+// plane's reason. Waiting for the verdict keeps the session synchronous
+// end to end: when AttestTo returns, the plane has recorded the
+// outcome, so the device's next session sees its up-to-date standing.
+func (s *Server) AttestTo(conn net.Conn, h Hello) error {
+	return withDeadline(conn, s.opt.Timeout, func() error {
+		payload, err := marshalHello(h)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, s.opt.MaxFrame, MsgHello, payload); err != nil {
+			return err
+		}
+		typ, resp, err := readFrame(conn, s.opt.MaxFrame)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case MsgChallenge:
+			ch, err := unmarshalChallenge(resp)
+			if err != nil {
+				writeFrame(conn, s.opt.MaxFrame, MsgError, []byte("bad challenge"))
+				return err
+			}
+			if err := s.answer(conn, ch); err != nil {
+				return err
+			}
+			return s.awaitVerdict(conn)
+		case MsgError:
+			return fmt.Errorf("%w: %s", ErrRefused, resp)
+		default:
+			return fmt.Errorf("%w: type %d", ErrBadMessage, typ)
+		}
+	})
+}
+
+// awaitVerdict reads the session-closing verdict frame.
+func (s *Server) awaitVerdict(conn net.Conn) error {
+	typ, v, err := readFrame(conn, s.opt.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if typ != MsgVerdict || len(v) < 1 {
+		return fmt.Errorf("%w: expected verdict, got type %d", ErrBadMessage, typ)
+	}
+	if v[0] == 1 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrDenied, v[1:])
+}

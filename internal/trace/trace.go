@@ -46,6 +46,7 @@ const (
 	SubIPC
 	SubAnalyze
 	SubUpdate
+	SubFleet
 
 	numSubsystems
 )
@@ -53,7 +54,7 @@ const (
 var subsystemNames = [numSubsystems]string{
 	"machine", "kernel", "eampu", "loader", "supervisor",
 	"attest", "remote", "inject", "harness", "ipc", "analyze",
-	"update",
+	"update", "fleet",
 }
 
 // String names the subsystem.
@@ -105,6 +106,10 @@ const (
 	KindUpdateDenied     // an update was refused before any state changed (reason attr)
 	KindUpdateRolledBack // a mid-swap fault was unwound; the old task runs on
 
+	// Fleet-plane decisions (SubFleet): registry state changes and
+	// hello-stage refusals made by the verifier plane about a device.
+	KindFleet
+
 	numKinds
 )
 
@@ -114,6 +119,7 @@ var kindNames = [numKinds]string{
 	"attest", "activation", "inject", "custom", "ipc",
 	"deadline-miss", "slo-violation", "verify-denied",
 	"update-accepted", "update-denied", "update-rolled-back",
+	"fleet",
 }
 
 // String names the kind.

@@ -278,3 +278,20 @@ func (v *Verifier) Verify(q Quote, expected sha1.Digest, nonce uint64) error {
 	}
 	return nil
 }
+
+// VerifyMAC checks a quote's freshness (the nonce) and authenticity
+// (the MAC binds the reported identity to the platform key) without
+// appraising the reported identity against an expectation. Fleet
+// verifiers use it when identity appraisal is a separate policy step —
+// e.g. a cached membership test against a known-good measurement set —
+// so the expensive MAC check and the policy decision can be layered.
+func (v *Verifier) VerifyMAC(q Quote, nonce uint64) error {
+	if q.Nonce != nonce {
+		return fmt.Errorf("%w: nonce mismatch", ErrQuoteInvalid)
+	}
+	want := hcrypto.HMAC(v.ka, quoteMessage(q.ID, q.Nonce))
+	if !bytes.Equal(want[:], q.MAC[:]) {
+		return fmt.Errorf("%w: bad MAC", ErrQuoteInvalid)
+	}
+	return nil
+}
