@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check fleet-check check bench tables interp-bench latency-bench fleet-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check check bench tables interp-bench latency-bench fleet-bench clean
 
 all: build
 
@@ -67,10 +67,19 @@ scenario-check:
 fleet-check:
 	$(GO) test -race -v -run 'TestFleetCheck' ./internal/fleet/
 
+# fleet-trace-check is the fleet telemetry zero-impact gate: the same
+# fleet config run with the full telemetry stack (correlated timeline,
+# metrics, flight recorders) on and off, under -race, must render
+# byte-identical reports and event streams — and two telemetry-on runs
+# must render byte-identical timelines and incident reports.
+fleet-trace-check:
+	$(GO) test -race -v -run 'TestFleetTraceCheck' ./cmd/tytan-fleet/
+
 # check is the gate CI and pre-commit should run: build, vet, lint, the
 # full test suite under the race detector, the chaos scenario, and the
-# observability, SLO, engine benchmark, update-scenario and fleet gates.
-check: build vet lint race chaos trace-check slo-check bench-check scenario-check fleet-check
+# observability, SLO, engine benchmark, update-scenario, fleet and
+# fleet-telemetry gates.
+check: build vet lint race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

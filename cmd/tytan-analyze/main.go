@@ -31,6 +31,7 @@ type config struct {
 	sloPath    string
 	jsonPath   string
 	foldedPath string
+	outPath    string
 	input      string
 }
 
@@ -39,6 +40,7 @@ func main() {
 	flag.StringVar(&cfg.sloPath, "slo", "", "evaluate the trace against this SLO spec file; violations make the exit status 1")
 	flag.StringVar(&cfg.jsonPath, "json", "", `write the report as JSON to this file ("-" = stdout, replacing the text report)`)
 	flag.StringVar(&cfg.foldedPath, "folded", "", `write folded stacks (flamegraph input) to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.outPath, "o", "-", `write the text report to this file ("-" = stdout)`)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tytan-analyze [flags] <trace.json | ->\n")
 		flag.PrintDefaults()
@@ -105,13 +107,16 @@ func run(cfg config, stdout io.Writer) (int, error) {
 		return 2, err
 	}
 
+	if cfg.outPath == "" {
+		cfg.outPath = "-"
+	}
 	if cfg.jsonPath == "-" {
 		if err := report.WriteJSON(stdout); err != nil {
 			return 2, err
 		}
 	} else {
-		if err := report.WriteText(stdout); err != nil {
-			return 2, err
+		if err := writeTo(cfg.outPath, stdout, report.WriteText); err != nil {
+			return 2, fmt.Errorf("-o: %w", err)
 		}
 		if cfg.jsonPath != "" {
 			if err := writeTo(cfg.jsonPath, stdout, report.WriteJSON); err != nil {

@@ -26,13 +26,15 @@
 // (internal/fleet): hellos from unknown devices are refused unless
 // -auto-enroll, failed appraisals burn a per-device budget, and a
 // device past its budget is quarantined — later hellos are refused at
-// the door.
+// the door. With -metrics ADDR the plane additionally serves its live
+// Prometheus exposition over HTTP at /metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/asm"
@@ -69,6 +71,7 @@ func main() {
 	autoEnroll := flag.Bool("auto-enroll", false, "plane mode: enroll unknown devices on first hello")
 	maxFailures := flag.Int("max-failures", 0, "plane mode: appraisal failures before quarantine (0 = default)")
 	listeners := flag.Int("listeners", 0, "plane mode: acceptor-pool size (0 = default)")
+	metricsAddr := flag.String("metrics", "", "plane mode: serve the live Prometheus exposition over HTTP on this address (/metrics)")
 	flag.Parse()
 
 	var err error
@@ -78,7 +81,7 @@ func main() {
 	case *dial != "":
 		err = runVerifier(*dial, *provider, flag.Args())
 	case *serve != "":
-		err = runPlane(*serve, *provider, *autoEnroll, *maxFailures, *listeners, flag.Args())
+		err = runPlane(*serve, *provider, *autoEnroll, *maxFailures, *listeners, *metricsAddr, flag.Args())
 	case *join != "":
 		err = runJoin(*join, *device, *provider, flag.Args())
 	default:
@@ -152,8 +155,10 @@ func runVerifier(addr, provider string, args []string) error {
 
 // runPlane serves a fleet verifier plane: every argument is a published
 // TELF binary whose identity joins the known-good set (no arguments:
-// the built-in demo task).
-func runPlane(addr, provider string, autoEnroll bool, maxFailures, listeners int, args []string) error {
+// the built-in demo task). With -metrics, the plane's live Prometheus
+// exposition — session outcomes, registry census, appraisal-cache and
+// acceptor-utilization gauges — is served over HTTP at /metrics.
+func runPlane(addr, provider string, autoEnroll bool, maxFailures, listeners int, metricsAddr string, args []string) error {
 	var known []sha1.Digest
 	if len(args) == 0 {
 		im, err := asm.Assemble(demoTask)
@@ -186,10 +191,31 @@ func runPlane(addr, provider string, autoEnroll bool, maxFailures, listeners int
 	if err != nil {
 		return err
 	}
+	if metricsAddr != "" {
+		ml, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		fmt.Printf("plane: metrics on http://%s/metrics\n", ml.Addr())
+		go serveMetrics(ml, plane)
+	}
 	fmt.Printf("plane: serving %d known-good builds on %s (auto-enroll %v)\n",
 		len(known), l.Addr(), autoEnroll)
 	plane.Serve(l)
 	return nil
+}
+
+// serveMetrics serves the plane's Prometheus exposition at /metrics
+// until the listener closes. Gauges are sampled per scrape, so a
+// scrape costs the attestation path nothing.
+func serveMetrics(l net.Listener, plane *fleet.Plane) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		plane.Metrics().WritePrometheus(w)
+	})
+	server := &http.Server{Handler: mux} //nolint:gosec // trusted local exposition endpoint
+	server.Serve(l)
 }
 
 // runJoin boots a device, loads its task, and runs one device-initiated

@@ -5,76 +5,165 @@
 //
 // The run is seed-deterministic: every report line is a pure function
 // of the flags, so the same invocation renders byte-identical output
-// no matter how the shards and acceptors are scheduled.
+// no matter how the shards and acceptors are scheduled. The telemetry
+// flags are observational only — they never change the report or the
+// event stream (the `make fleet-trace-check` gate).
 //
 // Usage:
 //
 //	tytan-fleet                          # 1000 devices, 2 rounds
 //	tytan-fleet -devices 200 -faulty 5   # five devices on unpublished builds
+//	tytan-fleet -trace fleet.json        # correlated multi-lane Chrome timeline
+//	tytan-fleet -metrics - -flight -     # Prometheus exposition + incident report
 //	tytan-fleet -bench -json BENCH_fleet.json
 //	                                     # throughput benchmark (host clock)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/fleet"
 )
 
+// flightWindow is the per-device flight-recorder capacity the -flight
+// flag attaches.
+const flightWindow = 64
+
+type config struct {
+	fleet.Config
+	bench       bool
+	jsonPath    string
+	outPath     string
+	tracePath   string
+	metricsPath string
+	flightPath  string
+}
+
 func main() {
-	devices := flag.Int("devices", 1000, "fleet size")
-	rounds := flag.Int("rounds", 2, "attestation rounds per device")
-	shards := flag.Int("shards", 0, "device worker-pool size (0 = default)")
-	seed := flag.Uint64("seed", 1, "seed for variant assignment and faulty-device selection")
-	variants := flag.Int("variants", 0, "published firmware builds (0 = default)")
-	faulty := flag.Int("faulty", 0, "devices running an unpublished build")
-	maxFailures := flag.Int("max-failures", 0, "appraisal failures before quarantine (0 = default)")
-	listeners := flag.Int("listeners", 0, "plane acceptor-pool size (0 = default)")
-	observe := flag.Bool("observe", true, "measure attestation round trips in device cycles")
-	bench := flag.Bool("bench", false, "benchmark mode: add host-clock throughput figures")
-	jsonPath := flag.String("json", "", "benchmark mode: write the JSON report to this file (implies -bench)")
+	var cfg config
+	flag.IntVar(&cfg.Devices, "devices", 1000, "fleet size")
+	flag.IntVar(&cfg.Rounds, "rounds", 2, "attestation rounds per device")
+	flag.IntVar(&cfg.Shards, "shards", 0, "device worker-pool size (0 = default)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "seed for variant assignment and faulty-device selection")
+	flag.IntVar(&cfg.Variants, "variants", 0, "published firmware builds (0 = default)")
+	flag.IntVar(&cfg.Faulty, "faulty", 0, "devices running an unpublished build")
+	flag.IntVar(&cfg.MaxFailures, "max-failures", 0, "appraisal failures before quarantine (0 = default)")
+	flag.IntVar(&cfg.Listeners, "listeners", 0, "plane acceptor-pool size (0 = default)")
+	flag.BoolVar(&cfg.Observe, "observe", true, "measure attestation round trips in device cycles")
+	flag.BoolVar(&cfg.bench, "bench", false, "benchmark mode: add host-clock throughput figures")
+	flag.StringVar(&cfg.jsonPath, "json", "", "benchmark mode: write the JSON report to this file (implies -bench)")
+	flag.StringVar(&cfg.outPath, "o", "-", `write the text report to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.tracePath, "trace", "", `write the correlated fleet timeline as multi-lane Chrome trace JSON to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.metricsPath, "metrics", "", `write the fleet Prometheus exposition to this file ("-" = stdout)`)
+	flag.StringVar(&cfg.flightPath, "flight", "", `attach per-device flight recorders and write the incident report to this file ("-" = stdout)`)
 	flag.Parse()
 
-	cfg := fleet.Config{
-		Devices: *devices, Rounds: *rounds, Shards: *shards, Seed: *seed,
-		Variants: *variants, Faulty: *faulty, MaxFailures: *maxFailures,
-		Listeners: *listeners, Observe: *observe,
-	}
-	if err := runFleet(cfg, *bench || *jsonPath != "", *jsonPath); err != nil {
+	if err := runFleet(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tytan-fleet:", err)
 		os.Exit(1)
 	}
 }
 
-func runFleet(cfg fleet.Config, bench bool, jsonPath string) error {
-	if !bench {
-		res, err := fleet.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Report.WriteText(os.Stdout)
-		return nil
+// writeTo runs write against the named destination ("-" = stdout).
+func writeTo(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
 	}
-
-	b, res, err := fleet.Bench(cfg)
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	res.Report.WriteText(os.Stdout)
-	fmt.Printf("  throughput: %.0f attests/sec over %.2fs wall; verifier session p50=%dus p99=%dus\n",
-		b.AttestsPerSec, b.WallSeconds, b.VerifyP50NS/1000, b.VerifyP99NS/1000)
-	if jsonPath != "" {
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runFleet(cfg config, stdout io.Writer) error {
+	cfg.Telemetry = fleet.TelemetryConfig{
+		Timeline: cfg.tracePath != "",
+		Metrics:  cfg.metricsPath != "",
+	}
+	if cfg.flightPath != "" {
+		cfg.Telemetry.FlightSize = flightWindow
+	}
+	bench := cfg.bench || cfg.jsonPath != ""
+	if bench && (cfg.tracePath != "" || cfg.metricsPath != "" || cfg.flightPath != "") {
+		return errors.New("-trace/-metrics/-flight do not combine with -bench (the benchmark measures telemetry overhead itself)")
+	}
+
+	if !bench {
+		res, err := fleet.Run(cfg.Config)
+		if err != nil {
+			return err
+		}
+		err = writeTo(cfg.outPath, stdout, func(w io.Writer) error {
+			res.Report.WriteText(w)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("-o: %w", err)
+		}
+		return writeTelemetry(cfg, res, stdout)
+	}
+
+	b, res, err := fleet.Bench(cfg.Config)
+	if err != nil {
+		return err
+	}
+	err = writeTo(cfg.outPath, stdout, func(w io.Writer) error {
+		res.Report.WriteText(w)
+		fmt.Fprintf(w, "  throughput: %.0f attests/sec over %.2fs wall; verifier session p50=%dus p99=%dus\n",
+			b.AttestsPerSec, b.WallSeconds, b.VerifyP50NS/1000, b.VerifyP99NS/1000)
+		fmt.Fprintf(w, "  telemetry: %.2fs wall with the full stack on (%+.1f%% host-side; cycle-identical=%v)\n",
+			b.TelemetryWallSeconds, b.TelemetryOverheadPct, b.CycleIdentical)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("-o: %w", err)
+	}
+	if cfg.jsonPath != "" {
 		blob, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(cfg.jsonPath, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s\n", jsonPath)
+		fmt.Fprintf(stdout, "  wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// writeTelemetry renders the requested telemetry products.
+func writeTelemetry(cfg config, res *fleet.Result, stdout io.Writer) error {
+	tel := res.Telemetry
+	if tel == nil {
+		return nil
+	}
+	if cfg.tracePath != "" {
+		if err := writeTo(cfg.tracePath, stdout, tel.Timeline.WriteChromeTrace); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	if cfg.metricsPath != "" {
+		if err := writeTo(cfg.metricsPath, stdout, tel.Metrics.WritePrometheus); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if cfg.flightPath != "" {
+		err := writeTo(cfg.flightPath, stdout, func(w io.Writer) error {
+			return fleet.WriteIncidents(w, tel.Incidents)
+		})
+		if err != nil {
+			return fmt.Errorf("-flight: %w", err)
+		}
 	}
 	return nil
 }

@@ -109,6 +109,71 @@ func TestAnalyzeAttestPairs(t *testing.T) {
 	}
 }
 
+func TestAnalyzeSessionSpans(t *testing.T) {
+	a := Analyze([]trace.Event{
+		// Session 0: correlated — the plane ruled on the same key.
+		ev(100, trace.SubRemote, trace.KindSession, "dev-0001",
+			trace.Num("session", 0), trace.Str("phase", "hello")),
+		ev(400, trace.SubRemote, trace.KindSession, "dev-0001",
+			trace.Num("session", 0), trace.Str("phase", "verdict"), trace.Str("result", "pass"), trace.Num("e2e", 300)),
+		// Session 1: device-side only — no plane evidence, stays ClassSession.
+		ev(900, trace.SubRemote, trace.KindSession, "dev-0001",
+			trace.Num("session", 1), trace.Str("phase", "hello")),
+		ev(1000, trace.SubRemote, trace.KindSession, "dev-0001",
+			trace.Num("session", 1), trace.Str("phase", "refused")),
+		// Another device's session 0 must not pair with dev-0001's.
+		ev(200, trace.SubRemote, trace.KindSession, "dev-0002",
+			trace.Num("session", 0), trace.Str("phase", "hello")),
+		// The plane's decision event for dev-0001 session 0 (plane
+		// ordinal domain; position in the stream does not matter).
+		ev(1, trace.SubFleet, trace.KindFleet, "dev-0001",
+			trace.Str("what", "verdict"), trace.Num("session", 0), trace.Str("result", "pass")),
+	})
+
+	e2e := spansOf(a, ClassFleetE2E)
+	if len(e2e) != 1 {
+		t.Fatalf("fleet_e2e spans = %+v", e2e)
+	}
+	if e2e[0].Subject != "dev-0001#0" || e2e[0].Duration() != 300 || e2e[0].Unclosed {
+		t.Errorf("fleet_e2e span = %+v", e2e[0])
+	}
+
+	plain := spansOf(a, ClassSession)
+	if len(plain) != 2 {
+		t.Fatalf("session spans = %+v", plain)
+	}
+	// Sorted by start: dev-0002's unclosed hello (200) then dev-0001#1 (900).
+	if plain[0].Subject != "dev-0002#0" || !plain[0].Unclosed {
+		t.Errorf("unmatched hello span = %+v", plain[0])
+	}
+	if plain[1].Subject != "dev-0001#1" || plain[1].Duration() != 100 || plain[1].Unclosed {
+		t.Errorf("uncorrelated session span = %+v", plain[1])
+	}
+}
+
+func TestSLOFleetE2E(t *testing.T) {
+	spec, err := ParseSpecString("fleet_e2e == 1\nfleet_e2e max <= 300c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := spec.Evaluate(Analyze([]trace.Event{
+		ev(100, trace.SubRemote, trace.KindSession, "d",
+			trace.Num("session", 7), trace.Str("phase", "hello")),
+		ev(400, trace.SubRemote, trace.KindSession, "d",
+			trace.Num("session", 7), trace.Str("phase", "verdict"), trace.Str("result", "pass")),
+		ev(8, trace.SubFleet, trace.KindFleet, "d",
+			trace.Str("what", "verdict"), trace.Num("session", 7)),
+	}))
+	if !v.Pass {
+		t.Fatalf("verdict = %+v", v)
+	}
+	for _, r := range v.Results {
+		if r.Samples != 1 {
+			t.Errorf("rule %q samples = %d, want 1", r.Text, r.Samples)
+		}
+	}
+}
+
 func TestAnalyzeIPCSpans(t *testing.T) {
 	a := Analyze([]trace.Event{
 		ev(100, trace.SubIPC, trace.KindIPC, "a",

@@ -186,7 +186,7 @@ func WriteFolded(w io.Writer, a *Analysis) error {
 // AnalyzeTrace is the one-call offline pipeline: read a Chrome trace,
 // run the span engine, evaluate the optional spec, build the report.
 func AnalyzeTrace(r io.Reader, spec *Spec) (*Analysis, *Report, error) {
-	events, err := trace.ReadChromeTrace(r)
+	events, err := trace.ReadTraceEvents(r)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -34,6 +34,9 @@ import (
 //	ipc_latency      ipc delivery spans
 //	attest_rtt       attestation round-trip spans
 //	load_total       whole-load spans
+//	fleet_e2e        cross-domain attestation sessions (device hello →
+//	                 close, correlated with the plane's verdict events
+//	                 by session key)
 //	span:<class>     any span class verbatim (e.g. span:load/stream)
 //	deadline_miss    KindDeadlineMiss occurrences
 //	eampu_violation  KindViolation occurrences
@@ -99,6 +102,8 @@ func (r Rule) spanClasses() []string {
 		return []string{ClassAttest}
 	case "load_total":
 		return []string{ClassLoad}
+	case "fleet_e2e":
+		return []string{ClassFleetE2E}
 	}
 	if c, ok := strings.CutPrefix(r.Metric, "span:"); ok {
 		return []string{c}

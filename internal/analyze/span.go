@@ -28,6 +28,18 @@ const (
 	ClassAttest = "attest" // attestation round-trip: request → verified reply
 	ClassIPC    = "ipc"    // secure IPC: proxy send → receiver dispatched
 	ClassTask   = "task"   // task activation window: dispatch → next dispatch
+
+	// ClassSession is a device-initiated attestation session seen from
+	// the device side only: hello → verdict/refusal/error, in device
+	// cycles (KindSession events).
+	ClassSession = "session"
+	// ClassFleetE2E is a cross-domain session: the same device-side
+	// hello → close window, but upgraded from ClassSession because the
+	// stream also carries the verifier plane's KindFleet decision for
+	// the same (device, session-ordinal) correlation key — evidence the
+	// session completed end to end across both time domains. The span's
+	// subject is the session key ("dev-0042#3").
+	ClassFleetE2E = "fleet_e2e"
 )
 
 // loadPhaseClass prefixes per-phase load sub-spans ("load/stream").
@@ -131,6 +143,18 @@ func Analyze(events []trace.Event) *Analysis {
 		}
 	}
 
+	// Pre-scan the plane-side session keys: a device-side session span
+	// whose key the verifier plane also ruled on is cross-domain
+	// (ClassFleetE2E); one without plane evidence stays ClassSession.
+	planeKeys := make(map[string]bool)
+	for _, e := range events {
+		if e.Sub == trace.SubFleet && e.Kind == trace.KindFleet {
+			if n, ok := e.NumAttr("session"); ok {
+				planeKeys[trace.SessionKey(e.Subject, n)] = true
+			}
+		}
+	}
+
 	var open []openSpan // in-flight loads, attest requests, IPC sends
 	closeOne := func(class, subject string, end uint64) (openSpan, bool) {
 		for i, o := range open {
@@ -218,6 +242,26 @@ func Analyze(events []trace.Event) *Analysis {
 				} else if rtt, ok := e.NumAttr("rtt"); ok && rtt <= e.Cycle {
 					a.Spans = append(a.Spans, Span{Class: ClassAttest, Subject: e.Subject, Start: e.Cycle - rtt, End: e.Cycle})
 				}
+			}
+
+		case trace.KindSession:
+			// Device-side session lifecycle: phase=hello opens, any other
+			// phase (verdict/refused/error) closes. Sessions are keyed by
+			// (device, ordinal) so back-to-back sessions of one device
+			// never cross-pair even in a merged multi-device stream.
+			n, _ := e.NumAttr("session")
+			key := trace.SessionKey(e.Subject, n)
+			ph, _ := e.Attr("phase")
+			if ph.Str == "hello" {
+				open = append(open, openSpan{class: ClassSession, subject: key, start: e.Cycle})
+				break
+			}
+			if o, ok := closeOne(ClassSession, key, e.Cycle); ok {
+				class := ClassSession
+				if planeKeys[key] {
+					class = ClassFleetE2E
+				}
+				a.Spans = append(a.Spans, Span{Class: class, Subject: key, Start: o.start, End: e.Cycle})
 			}
 
 		case trace.KindIPC:

@@ -31,7 +31,9 @@ import (
 //     without burning the version counter or touching the old task;
 //   - a simulated power failure at EVERY swap phase leaves the old
 //     version running, attestable, and updatable afterwards;
-//   - an update to a quarantined identity is refused.
+//   - an update to a quarantined identity is refused;
+//   - fleet telemetry under quarantine chaos is zero-impact and every
+//     session correlates across the device/verifier time domains.
 //
 // Every cell is deterministic: two runs of the matrix produce
 // byte-identical text reports (`make scenario-check` asserts exactly
@@ -253,7 +255,73 @@ func UpdateScenarios() []Scenario {
 			SLO: "fleet_session == 48\nattest_rtt max <= 32000c\neampu_violation == 0",
 			Run: scenarioFleetSweep,
 		},
+		{
+			Name:  "observability-under-chaos",
+			Gloss: "fleet telemetry under quarantine chaos: every session correlates across domains, zero impact on the run",
+			// Every one of the 50 sessions must reconstruct as a
+			// cross-domain fleet_e2e span (device hello → close,
+			// correlated with the plane's verdict by session key), with
+			// bounded end-to-end latency and a clean integrity record.
+			SLO: "fleet_e2e == 50\nfleet_e2e p99 <= 40000c\neampu_violation == 0",
+			Run: scenarioObservabilityUnderChaos,
+		},
 	}
+}
+
+// scenarioObservabilityUnderChaos runs the fleet with the full
+// telemetry stack on — correlated timeline, Prometheus registry,
+// per-device flight recorders — while one device burns its appraisal
+// budget and is quarantined mid-run. The telemetry must be zero-impact
+// (the deterministic report matches a telemetry-off run byte for
+// byte), every plane-decided session must correlate across the two
+// time domains, and exactly the quarantined device's flight recorder
+// must trip. The cell adopts the fleet's combined event stream, so the
+// SLO's fleet_e2e rules judge the cross-domain session spans.
+func scenarioObservabilityUnderChaos(e *ScenarioEnv) error {
+	cfg := fleet.Config{
+		Devices: 10, Rounds: 5, Seed: e.Seed,
+		Variants: 2, Faulty: 1, MaxFailures: 2,
+		Telemetry: fleet.TelemetryConfig{Timeline: true, Metrics: true, FlightSize: 64},
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	off := cfg
+	off.Telemetry = fleet.TelemetryConfig{}
+	off.CollectEvents = true
+	resOff, err := fleet.Run(off)
+	if err != nil {
+		return err
+	}
+	if res.Report.Text() != resOff.Report.Text() {
+		return errors.New("telemetry perturbed the deterministic report")
+	}
+	rep := res.Report
+	if rep.Errored != 0 {
+		return fmt.Errorf("errored sessions = %d, want 0", rep.Errored)
+	}
+	decided := int(rep.Attested + rep.Rejected + rep.Refused)
+	tl := res.Telemetry.Timeline
+	if got := tl.CorrelatedCount(); got != decided {
+		return fmt.Errorf("correlated sessions = %d, want %d (every plane-decided session)",
+			got, decided)
+	}
+	if n := len(res.Telemetry.Incidents); n != 1 {
+		return fmt.Errorf("flight incidents = %d, want 1 (the quarantined device)", n)
+	}
+	inc := res.Telemetry.Incidents[0]
+	if inc.Trigger != fleet.TriggerQuarantineRefusal {
+		return fmt.Errorf("incident trigger = %q, want %q", inc.Trigger, fleet.TriggerQuarantineRefusal)
+	}
+	if len(rep.QuarantinedNames) != 1 || inc.Device != rep.QuarantinedNames[0] {
+		return fmt.Errorf("incident device %q, want quarantined %v", inc.Device, rep.QuarantinedNames)
+	}
+	e.AdoptEvents(res.Events)
+	e.Notef("%d sessions all correlated across domains; telemetry on/off reports byte-identical", decided)
+	e.Notef("flight recorder tripped on %s (%s): window %d events, %d plane decisions attached",
+		inc.Device, inc.Trigger, len(inc.Window), len(inc.Plane))
+	return nil
 }
 
 // scenarioFleetSweep runs the fleet attestation service end to end: 12

@@ -91,6 +91,13 @@ func (p *Platform) EnableObservability(extra ...trace.Sink) *Obs {
 // Observability returns the handle if EnableObservability has run.
 func (p *Platform) Observability() *Obs { return p.obsHandle }
 
+// Sink returns the installed fan-out sink — the one every subsystem
+// emits through. External components attached to the platform (a
+// remote-attestation server, a fleet harness) emit through it so their
+// events land in the buffer, the metrics observer and every extra sink
+// alike.
+func (o *Obs) Sink() trace.Sink { return o.p.obs }
+
 // observeEvent feeds event-derived metrics (histograms need samples,
 // not end-of-run gauge reads).
 func (o *Obs) observeEvent(e trace.Event) {

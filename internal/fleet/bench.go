@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/analyze"
@@ -31,12 +32,37 @@ type BenchReport struct {
 	// simulated cycles (deterministic).
 	AttestRTTCycles analyze.Stats `json:"attest_rtt_cycles"`
 
+	// SessionE2ECycles summarizes whole-session device-side latency —
+	// hello sent to verdict received — in simulated cycles
+	// (deterministic).
+	SessionE2ECycles analyze.Stats `json:"session_e2e_cycles"`
+	// SessionHistogram is the plane's session-duration histogram:
+	// cumulative counts per bucket upper bound (the last bucket is
+	// +Inf). Deterministic.
+	SessionHistogram []HistBucket `json:"session_histogram"`
+
 	// Host-clock figures (vary run to run).
 	WallSeconds    float64 `json:"wall_seconds"`
 	AttestsPerSec  float64 `json:"attests_per_sec"`
 	VerifyP50NS    int64   `json:"verify_p50_ns"`
 	VerifyP99NS    int64   `json:"verify_p99_ns"`
 	VerifySessions int     `json:"verify_sessions"`
+
+	// Telemetry overhead: the same fleet run again with the full
+	// telemetry stack on (timeline + metrics + flight recorders). The
+	// simulated-cycle side is identical by the zero-impact contract —
+	// CycleIdentical asserts the two deterministic reports matched
+	// byte for byte — and the host-side cost is reported honestly.
+	TelemetryWallSeconds float64 `json:"telemetry_wall_seconds"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	CycleIdentical       bool    `json:"cycle_identical"`
+}
+
+// HistBucket is one cumulative histogram bucket. LE is the upper bound
+// in cycles, rendered as a string so "+Inf" fits.
+type HistBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
 }
 
 // Bench runs the fleet under a host clock and reports throughput:
@@ -71,6 +97,32 @@ func Bench(cfg Config) (BenchReport, *Result, error) {
 	if len(ns) > 0 {
 		b.VerifyP50NS = percentileNS(ns, 0.50)
 		b.VerifyP99NS = percentileNS(ns, 0.99)
+	}
+	b.SessionE2ECycles = rep.SessionE2E
+
+	// The telemetry leg: the same run with the full telemetry stack on.
+	// The deterministic report must not change (zero-impact contract);
+	// the host cost of assembling timeline, metrics and flight windows
+	// is whatever it is.
+	telCfg := cfg
+	telCfg.Telemetry = TelemetryConfig{Timeline: true, Metrics: true, FlightSize: 64}
+	telStart := time.Now() //tytan:allow hosttime
+	telRes, err := Run(telCfg)
+	if err != nil {
+		return BenchReport{}, nil, err
+	}
+	b.TelemetryWallSeconds = time.Since(telStart).Seconds() //tytan:allow hosttime
+	if b.WallSeconds > 0 {
+		b.TelemetryOverheadPct = (b.TelemetryWallSeconds - b.WallSeconds) / b.WallSeconds * 100
+	}
+	b.CycleIdentical = telRes.Report.Text() == rep.Text()
+	bounds, cum, _, _ := telRes.Plane.sessionCycles.Snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = fmt.Sprintf("%d", bounds[i])
+		}
+		b.SessionHistogram = append(b.SessionHistogram, HistBucket{LE: le, Count: c})
 	}
 	return b, res, nil
 }

@@ -72,6 +72,29 @@ type Config struct {
 	// never enter the text report; keep nil for deterministic-output
 	// runs.
 	Clock func() int64
+	// Telemetry selects the fleet-wide telemetry products assembled
+	// after the run (implies CollectEvents). Telemetry is purely
+	// observational: the report and the event stream are byte-identical
+	// whether it is on or off — the `make fleet-trace-check` gate.
+	Telemetry TelemetryConfig
+}
+
+// TelemetryConfig selects fleet telemetry products.
+type TelemetryConfig struct {
+	// Timeline builds the merged multi-lane Chrome timeline correlating
+	// device-side session brackets with plane-side verdicts.
+	Timeline bool
+	// Metrics builds the plane's Prometheus registry and feeds its
+	// session-duration histogram from the device-side telemetry.
+	Metrics bool
+	// FlightSize, when positive, attaches a bounded flight recorder of
+	// this capacity to every device; recorders that trip yield
+	// correlated incident reports.
+	FlightSize int
+}
+
+func (t TelemetryConfig) enabled() bool {
+	return t.Timeline || t.Metrics || t.FlightSize > 0
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -105,6 +128,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RunSlice == 0 {
 		c.RunSlice = core.DefaultTickPeriod
 	}
+	if c.Telemetry.enabled() {
+		c.CollectEvents = true
+	}
 	if c.CollectEvents {
 		c.Observe = true
 	}
@@ -125,8 +151,10 @@ type deviceResult struct {
 	refused   int // hellos refused at the door
 	errored   int // transport/protocol failures
 	durations []uint64 // attest round-trip spans, device cycles
+	e2e       []uint64 // session end-to-end spans (hello→verdict), device cycles
 	events    []trace.Event
-	err       error // fatal setup failure
+	recorder  *Recorder // flight recorder (Telemetry.FlightSize only)
+	err       error     // fatal setup failure
 }
 
 // Result is a completed fleet run.
@@ -139,6 +167,22 @@ type Result struct {
 	Events []trace.Event
 	// Plane exposes the registry, cache and counters for inspection.
 	Plane *Plane
+	// Telemetry carries the assembled fleet telemetry products (nil
+	// unless Config.Telemetry requested any).
+	Telemetry *Telemetry
+}
+
+// Telemetry is the assembled fleet telemetry: the correlated timeline,
+// the plane's Prometheus registry, and any flight-recorder incidents.
+type Telemetry struct {
+	// Timeline is the merged, correlated fleet timeline (Telemetry.Timeline).
+	Timeline *Timeline
+	// Metrics is the plane's Prometheus registry with the deterministic
+	// session-duration histogram fed (Telemetry.Metrics).
+	Metrics *trace.Registry
+	// Incidents are the tripped flight recorders' frozen windows with
+	// correlated plane decisions, in device order (Telemetry.FlightSize).
+	Incidents []Incident
 }
 
 // Run executes a fleet run: boot Devices platforms in Shards workers,
@@ -231,20 +275,50 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Plane: plane}
 	res.Report = buildReport(cfg, plane, results)
+	var planeEvents []trace.Event
+	if planeBuf != nil {
+		planeEvents = planeBuf.Events()
+		sort.SliceStable(planeEvents, func(i, j int) bool {
+			if planeEvents[i].Subject != planeEvents[j].Subject {
+				return planeEvents[i].Subject < planeEvents[j].Subject
+			}
+			return planeEvents[i].Cycle < planeEvents[j].Cycle
+		})
+	}
 	if cfg.CollectEvents {
 		for i := range results {
 			res.Events = append(res.Events, results[i].events...)
 		}
-		if planeBuf != nil {
-			pe := planeBuf.Events()
-			sort.SliceStable(pe, func(i, j int) bool {
-				if pe[i].Subject != pe[j].Subject {
-					return pe[i].Subject < pe[j].Subject
-				}
-				return pe[i].Cycle < pe[j].Cycle
-			})
-			res.Events = append(res.Events, pe...)
+		res.Events = append(res.Events, planeEvents...)
+	}
+	if cfg.Telemetry.enabled() {
+		tel := &Telemetry{}
+		if cfg.Telemetry.Timeline || cfg.Telemetry.Metrics {
+			streams := make([]NamedEvents, 0, len(results))
+			for i := range results {
+				streams = append(streams, NamedEvents{Name: results[i].name, Events: results[i].events})
+			}
+			tl := BuildTimeline(streams, planeEvents)
+			if cfg.Telemetry.Timeline {
+				tel.Timeline = tl
+			}
+			if cfg.Telemetry.Metrics {
+				// Feed the deterministic session-duration histogram from
+				// the device-side telemetry; histograms never feed back
+				// into the report or the event stream.
+				plane.ObserveSessionCycles(tl.E2E())
+				tel.Metrics = plane.Metrics()
+			}
 		}
+		for i := range results {
+			if results[i].recorder == nil {
+				continue
+			}
+			if inc, ok := results[i].recorder.Incident(planeEvents); ok {
+				tel.Incidents = append(tel.Incidents, inc)
+			}
+		}
+		res.Telemetry = tel
 	}
 	return res, nil
 }
@@ -263,9 +337,19 @@ func runDevice(cfg Config, idx, variant int, faulty bool, ln *memListener) devic
 
 	att := remote.Attestor(remote.ComponentsAttestor{C: p.C})
 	var obs *core.Obs
+	var srvOpts remote.ServerOptions
 	if cfg.Observe {
-		obs = p.EnableObservability()
-		att = &remote.TracedAttestor{Inner: att, Cycles: p.M.Cycles, Obs: obs.Buf}
+		var extra []trace.Sink
+		if cfg.Telemetry.FlightSize > 0 {
+			res.recorder = NewRecorder(res.name, cfg.Telemetry.FlightSize)
+			extra = append(extra, res.recorder)
+		}
+		obs = p.EnableObservability(extra...)
+		// The attestor and the session server emit through the platform's
+		// fan-out sink, so KindAttest and KindSession events land in the
+		// buffer and the flight recorder alike.
+		att = &remote.TracedAttestor{Inner: att, Cycles: p.M.Cycles, Obs: obs.Sink()}
+		srvOpts = remote.ServerOptions{Obs: obs.Sink(), Cycles: p.M.Cycles}
 	}
 
 	im, err := VariantImage(variant)
@@ -284,7 +368,7 @@ func runDevice(cfg Config, idx, variant int, faulty bool, ln *memListener) devic
 		return res
 	}
 
-	srv := remote.NewServer(att, remote.ServerOptions{})
+	srv := remote.NewServer(att, srvOpts)
 	hello := remote.Hello{Device: res.name, Provider: cfg.Provider, TruncID: e.TruncID}
 	for r := 0; r < cfg.Rounds; r++ {
 		if r > 0 {
@@ -293,6 +377,10 @@ func runDevice(cfg Config, idx, variant int, faulty bool, ln *memListener) devic
 				return res
 			}
 		}
+		// The round index is the session ordinal: the correlation key
+		// both the device-side KindSession bracket and the plane-side
+		// KindFleet decision are stamped with.
+		hello.Session = uint64(r)
 		conn, err := ln.Dial()
 		if err != nil {
 			res.errored++
@@ -315,6 +403,7 @@ func runDevice(cfg Config, idx, variant int, faulty bool, ln *memListener) devic
 	if obs != nil {
 		a := analyze.Analyze(obs.Events())
 		res.durations = a.Durations(analyze.ClassAttest)
+		res.e2e = a.Durations(analyze.ClassSession)
 		if cfg.CollectEvents {
 			res.events = obs.Events()
 		}

@@ -42,6 +42,18 @@ type Plane struct {
 	rejected uint64 // sessions whose appraisal failed (bad measurement or bad quote)
 	refused  uint64 // hellos refused at the door
 	errored  uint64 // sessions lost to transport/protocol errors
+
+	acceptors []uint64 // per-acceptor session counts (atomic; Serve only)
+
+	// sessionCycles / sessionHostNS are the session-duration histograms
+	// behind Metrics(): device-cycle end-to-end latencies (fed by
+	// ObserveSessionCycles, deterministic) and host-ns verification-path
+	// times (fed per session when Clock is set, benchmark-only).
+	sessionCycles *trace.Histogram
+	sessionHostNS *trace.Histogram
+
+	metricsOnce sync.Once
+	metrics     *trace.Registry
 }
 
 // PlaneConfig parameterizes a verifier plane.
@@ -99,6 +111,12 @@ func NewPlane(cfg PlaneConfig) *Plane {
 		obs:        cfg.Obs,
 		nonce:      cfg.NonceBase,
 		clock:      cfg.Clock,
+		acceptors:  make([]uint64, listeners),
+		// Cycle buckets span the observed e2e range (~a quote's HMAC
+		// cost up to a congested fleet round-trip); ns buckets span
+		// 1µs–100ms of host verification path.
+		sessionCycles: trace.NewHistogram(10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
+		sessionHostNS: trace.NewHistogram(1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000),
 	}
 }
 
@@ -123,8 +141,11 @@ func seq(d Device) uint64 {
 	return uint64(d.Passes + d.Failures + d.Refusals)
 }
 
-// emitRefusal stamps a typed refusal event.
-func (p *Plane) emitRefusal(d Device, reason string) {
+// emitRefusal stamps a typed refusal event. The session attribute
+// echoes the device-reported session ordinal from the hello — the
+// correlation key that joins this plane-side decision with the
+// device-side KindSession events for the same session.
+func (p *Plane) emitRefusal(d Device, session uint64, reason string) {
 	if p.obs == nil {
 		return
 	}
@@ -134,6 +155,7 @@ func (p *Plane) emitRefusal(d Device, reason string) {
 		Attrs: []trace.Attr{
 			trace.Str("what", "refused"),
 			trace.Str("reason", reason),
+			trace.Num("session", session),
 		},
 	})
 }
@@ -142,7 +164,7 @@ func (p *Plane) emitRefusal(d Device, reason string) {
 // warms the appraisal cache is a scheduling accident, so hit/miss is
 // deliberately absent here — the cache's aggregate counters are the
 // deterministic view.
-func (p *Plane) emitVerdict(d Device, pass bool, reason string) {
+func (p *Plane) emitVerdict(d Device, session uint64, pass bool, reason string) {
 	if p.obs == nil {
 		return
 	}
@@ -158,6 +180,7 @@ func (p *Plane) emitVerdict(d Device, pass bool, reason string) {
 	if reason != "" {
 		attrs = append(attrs, trace.Str("reason", reason))
 	}
+	attrs = append(attrs, trace.Num("session", session))
 	p.obs.Emit(trace.Event{
 		Cycle: seq(d), Sub: trace.SubFleet, Kind: trace.KindFleet,
 		Subject: d.Name, Attrs: attrs,
@@ -177,6 +200,9 @@ func (p *Plane) HandleConn(conn net.Conn) error {
 			p.hostMu.Lock()
 			p.hostNS = append(p.hostNS, d)
 			p.hostMu.Unlock()
+			if d > 0 {
+				p.sessionHostNS.Observe(uint64(d))
+			}
 		}()
 	}
 	h, err := p.client.AwaitHello(conn)
@@ -186,14 +212,14 @@ func (p *Plane) HandleConn(conn net.Conn) error {
 	}
 	if h.Provider != p.client.Provider() {
 		atomic.AddUint64(&p.refused, 1)
-		p.emitRefusal(Device{Name: h.Device}, "unknown provider")
+		p.emitRefusal(Device{Name: h.Device}, h.Session, "unknown provider")
 		p.client.Refuse(conn, fmt.Sprintf("unknown provider %q", h.Provider))
 		return nil
 	}
 	if _, ok := p.reg.Lookup(h.Device); !ok {
 		if !p.autoEnroll {
 			atomic.AddUint64(&p.refused, 1)
-			p.emitRefusal(Device{Name: h.Device}, "unknown device")
+			p.emitRefusal(Device{Name: h.Device}, h.Session, "unknown device")
 			p.client.Refuse(conn, "unknown device")
 			return nil
 		}
@@ -201,7 +227,7 @@ func (p *Plane) HandleConn(conn net.Conn) error {
 	}
 	if p.reg.Quarantined(h.Device) {
 		atomic.AddUint64(&p.refused, 1)
-		p.emitRefusal(p.reg.noteRefusal(h.Device), "quarantined")
+		p.emitRefusal(p.reg.noteRefusal(h.Device), h.Session, "quarantined")
 		p.client.Refuse(conn, "device quarantined")
 		return nil
 	}
@@ -214,7 +240,7 @@ func (p *Plane) HandleConn(conn net.Conn) error {
 		// budget: a device that cannot produce a valid fresh quote is
 		// exactly what the budget exists for.
 		atomic.AddUint64(&p.rejected, 1)
-		p.emitVerdict(p.reg.NoteFail(h.Device), false, "bad quote")
+		p.emitVerdict(p.reg.NoteFail(h.Device), h.Session, false, "bad quote")
 		p.client.Verdict(conn, false, "bad quote") // best-effort; conn may be dead
 		return err
 	}
@@ -224,11 +250,11 @@ func (p *Plane) HandleConn(conn net.Conn) error {
 	ok, _ := p.cache.Appraise(q.ID)
 	if !ok {
 		atomic.AddUint64(&p.rejected, 1)
-		p.emitVerdict(p.reg.NoteFail(h.Device), false, "unknown measurement")
+		p.emitVerdict(p.reg.NoteFail(h.Device), h.Session, false, "unknown measurement")
 		return p.client.Verdict(conn, false, "unknown measurement")
 	}
 	atomic.AddUint64(&p.attested, 1)
-	p.emitVerdict(p.reg.NotePass(h.Device), true, "")
+	p.emitVerdict(p.reg.NotePass(h.Device), h.Session, true, "")
 	return p.client.Verdict(conn, true, "")
 }
 
@@ -251,7 +277,7 @@ func (p *Plane) Serve(l net.Listener) {
 	var wg sync.WaitGroup
 	for i := 0; i < p.listeners; i++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				conn, err := l.Accept()
@@ -259,8 +285,30 @@ func (p *Plane) Serve(l net.Listener) {
 					return
 				}
 				p.HandleConn(conn)
+				atomic.AddUint64(&p.acceptors[slot], 1)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
+}
+
+// AcceptorSessions returns how many sessions each acceptor slot has
+// served — the pool-utilization view behind the fleet metrics. Which
+// acceptor serves which session is a scheduling accident, so the
+// per-slot split is not deterministic (the sum is).
+func (p *Plane) AcceptorSessions() []uint64 {
+	out := make([]uint64, len(p.acceptors))
+	for i := range p.acceptors {
+		out[i] = atomic.LoadUint64(&p.acceptors[i])
+	}
+	return out
+}
+
+// ObserveSessionCycles feeds the deterministic session-duration
+// histogram (device-cycle end-to-end latencies, from the device-side
+// telemetry) exported by Metrics().
+func (p *Plane) ObserveSessionCycles(durations []uint64) {
+	for _, d := range durations {
+		p.sessionCycles.Observe(d)
+	}
 }

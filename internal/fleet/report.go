@@ -51,6 +51,13 @@ type Report struct {
 	// AttestRTT summarizes attestation round-trip spans in device
 	// cycles, pooled across the fleet (zero unless Config.Observe).
 	AttestRTT analyze.Stats
+
+	// SessionE2E summarizes whole-session latency in device cycles —
+	// hello sent to verdict received, the device-side KindSession
+	// bracket — pooled across the fleet (zero unless Config.Observe).
+	// Derived from the event stream, so it is identical whether the
+	// telemetry products are assembled or not.
+	SessionE2E analyze.Stats
 }
 
 // buildReport derives the deterministic summary from the plane state
@@ -72,10 +79,11 @@ func buildReport(cfg Config, plane *Plane, results []deviceResult) Report {
 		}
 	}
 
-	var pooled []uint64
+	var pooled, pooledE2E []uint64
 	for i := range results {
 		r := &results[i]
 		pooled = append(pooled, r.durations...)
+		pooledE2E = append(pooledE2E, r.e2e...)
 		d, _ := plane.Registry().Lookup(r.name)
 		if d.Failures > 0 || d.Refusals > 0 || r.denied > 0 || r.refused > 0 || r.errored > 0 {
 			rep.Anomalies = append(rep.Anomalies, DeviceOutcome{
@@ -90,6 +98,8 @@ func buildReport(cfg Config, plane *Plane, results []deviceResult) Report {
 	})
 	sort.Slice(pooled, func(i, j int) bool { return pooled[i] < pooled[j] })
 	rep.AttestRTT = analyze.Summarize(pooled)
+	sort.Slice(pooledE2E, func(i, j int) bool { return pooledE2E[i] < pooledE2E[j] })
+	rep.SessionE2E = analyze.Summarize(pooledE2E)
 	return rep
 }
 
@@ -121,6 +131,11 @@ func (rep Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  attest rtt (cycles): n=%d min=%d p50=%d p95=%d p99=%d max=%d\n",
 			rep.AttestRTT.Count, rep.AttestRTT.Min, rep.AttestRTT.P50,
 			rep.AttestRTT.P95, rep.AttestRTT.P99, rep.AttestRTT.Max)
+	}
+	if rep.SessionE2E.Count > 0 {
+		fmt.Fprintf(w, "  session e2e (cycles): n=%d min=%d p50=%d p95=%d p99=%d max=%d\n",
+			rep.SessionE2E.Count, rep.SessionE2E.Min, rep.SessionE2E.P50,
+			rep.SessionE2E.P95, rep.SessionE2E.P99, rep.SessionE2E.Max)
 	}
 }
 

@@ -88,8 +88,13 @@ func FuzzUnmarshalChallenge(f *testing.F) {
 
 func FuzzUnmarshalHello(f *testing.F) {
 	// Valid hello.
-	if b, err := marshalHello(Hello{Device: "dev-1", Provider: "oem", TruncID: 7}); err == nil {
+	if b, err := marshalHello(Hello{Device: "dev-1", Provider: "oem", TruncID: 7, Session: 3}); err == nil {
 		f.Add(b)
+	}
+	// A trailer that is exactly one session-ordinal short — the
+	// pre-session wire form, which the current decoder must reject.
+	if b, err := marshalHello(Hello{Device: "dev-1", Provider: "oem", TruncID: 7}); err == nil {
+		f.Add(b[:len(b)-8])
 	}
 	// Empty fields.
 	if b, err := marshalHello(Hello{}); err == nil {

@@ -176,6 +176,14 @@ type Hello struct {
 	Provider string
 	// TruncID is the truncated identity of the task the device offers.
 	TruncID uint64
+	// Session is the device's 0-based session ordinal — its count of
+	// previously initiated sessions. Together with Device it forms the
+	// fleet-wide session correlation key: the plane's verdict events
+	// echo it, so device-side and plane-side telemetry for the same
+	// session can be joined across the two time domains. The
+	// verdict-before-next-hello edge makes the ordinal totally ordered
+	// per device.
+	Session uint64
 }
 
 // marshalHello encodes a hello payload.
@@ -183,12 +191,13 @@ func marshalHello(h Hello) ([]byte, error) {
 	if len(h.Device) > 255 || len(h.Provider) > 255 {
 		return nil, fmt.Errorf("%w: hello field too long", ErrBadMessage)
 	}
-	out := make([]byte, 0, 2+len(h.Device)+len(h.Provider)+8)
+	out := make([]byte, 0, 2+len(h.Device)+len(h.Provider)+16)
 	out = append(out, byte(len(h.Device)))
 	out = append(out, h.Device...)
 	out = append(out, byte(len(h.Provider)))
 	out = append(out, h.Provider...)
 	out = binary.LittleEndian.AppendUint64(out, h.TruncID)
+	out = binary.LittleEndian.AppendUint64(out, h.Session)
 	return out, nil
 }
 
@@ -202,13 +211,14 @@ func unmarshalHello(b []byte) (Hello, error) {
 		return Hello{}, ErrBadMessage
 	}
 	pl := int(b[1+dl])
-	if len(b) != 1+dl+1+pl+8 {
+	if len(b) != 1+dl+1+pl+16 {
 		return Hello{}, ErrBadMessage
 	}
 	return Hello{
 		Device:   string(b[1 : 1+dl]),
 		Provider: string(b[2+dl : 2+dl+pl]),
 		TruncID:  binary.LittleEndian.Uint64(b[2+dl+pl:]),
+		Session:  binary.LittleEndian.Uint64(b[2+dl+pl+8:]),
 	}, nil
 }
 

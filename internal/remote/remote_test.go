@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/trusted"
 )
 
@@ -188,14 +189,14 @@ func TestChallengeRoundTripQuick(t *testing.T) {
 }
 
 func TestHelloRoundTripQuick(t *testing.T) {
-	f := func(device, provider string, trunc uint64) bool {
+	f := func(device, provider string, trunc, session uint64) bool {
 		if len(device) > 255 {
 			device = device[:255]
 		}
 		if len(provider) > 255 {
 			provider = provider[:255]
 		}
-		h := Hello{Device: device, Provider: provider, TruncID: trunc}
+		h := Hello{Device: device, Provider: provider, TruncID: trunc, Session: session}
 		b, err := marshalHello(h)
 		if err != nil {
 			return false
@@ -241,6 +242,70 @@ func TestAttestToChallenged(t *testing.T) {
 	verConn.Close()
 	if err := <-done; err != nil {
 		t.Fatalf("device side: %v", err)
+	}
+}
+
+// TestAttestToSessionEvents: with Obs wired, AttestTo brackets the
+// session in KindSession events — phase=hello at open, a closing
+// phase=verdict event carrying the pass result and the device-cycle
+// end-to-end latency — both stamped with the hello's session ordinal.
+func TestAttestToSessionEvents(t *testing.T) {
+	p, e := devicePlatform(t)
+	buf := &trace.Buffer{}
+	srv := NewServer(ComponentsAttestor{C: p.C}, ServerOptions{Obs: buf, Cycles: p.M.Cycles})
+	c := oemClient(p, ClientOptions{})
+	devConn, verConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer devConn.Close()
+		done <- srv.AttestTo(devConn, Hello{Device: "dev-0", Provider: "oem", TruncID: e.ID.TruncatedID(), Session: 4})
+	}()
+	h, err := c.AwaitHello(verConn)
+	if err != nil {
+		t.Fatalf("await hello: %v", err)
+	}
+	if h.Session != 4 {
+		t.Fatalf("session ordinal = %d, want 4", h.Session)
+	}
+	if _, err := c.Challenge(verConn, h.TruncID, 99); err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if err := c.Verdict(verConn, true, ""); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	verConn.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("device side: %v", err)
+	}
+
+	evs := buf.Events()
+	if len(evs) != 2 {
+		t.Fatalf("session events = %d (%v), want 2", len(evs), evs)
+	}
+	open, closing := evs[0], evs[1]
+	for i, ev := range evs {
+		if ev.Sub != trace.SubRemote || ev.Kind != trace.KindSession || ev.Subject != "dev-0" {
+			t.Fatalf("event %d = %v", i, ev)
+		}
+		if n, ok := ev.NumAttr("session"); !ok || n != 4 {
+			t.Fatalf("event %d session ordinal = %d, %v", i, n, ok)
+		}
+	}
+	if ph, _ := open.Attr("phase"); ph.Str != "hello" {
+		t.Fatalf("open phase = %q", ph.Str)
+	}
+	if ph, _ := closing.Attr("phase"); ph.Str != "verdict" {
+		t.Fatalf("close phase = %q", ph.Str)
+	}
+	if res, _ := closing.Attr("result"); res.Str != "pass" {
+		t.Fatalf("close result = %q", res.Str)
+	}
+	e2e, ok := closing.NumAttr("e2e")
+	if !ok || e2e != closing.Cycle-open.Cycle {
+		t.Fatalf("e2e = %d (ok=%v), span = %d", e2e, ok, closing.Cycle-open.Cycle)
+	}
+	if e2e == 0 {
+		t.Fatal("e2e latency is zero; quoting should charge cycles")
 	}
 }
 

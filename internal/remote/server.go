@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ServerOptions parameterizes the device side of the protocol. The zero
@@ -25,6 +27,18 @@ type ServerOptions struct {
 	MaxFrame int
 	// Stats, when non-nil, accumulates exchange/error accounting.
 	Stats *ServeStats
+	// Obs, when non-nil, receives the device-side session-lifecycle
+	// events (SubRemote / KindSession) for device-initiated sessions:
+	// one phase=hello event when AttestTo opens the session and one
+	// closing event (phase=verdict/refused/error) stamped with the
+	// device-cycle end-to-end latency. Both carry the session ordinal
+	// from the Hello, forming the correlation key the fleet plane
+	// echoes. Nil costs one pointer check per session.
+	Obs trace.Sink
+	// Cycles supplies the simulated cycle counter for Obs timestamps
+	// (nil stamps zero). Reading the counter never advances it, so
+	// observation keeps the zero-impact contract.
+	Cycles func() uint64
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -154,7 +168,9 @@ func (s *Server) Serve(l net.Listener) error {
 // end to end: when AttestTo returns, the plane has recorded the
 // outcome, so the device's next session sees its up-to-date standing.
 func (s *Server) AttestTo(conn net.Conn, h Hello) error {
-	return withDeadline(conn, s.opt.Timeout, func() error {
+	start := s.now()
+	s.emitSession(h, start, trace.Str("phase", "hello"), trace.Str("provider", h.Provider))
+	err := withDeadline(conn, s.opt.Timeout, func() error {
 		payload, err := marshalHello(h)
 		if err != nil {
 			return err
@@ -182,6 +198,45 @@ func (s *Server) AttestTo(conn net.Conn, h Hello) error {
 		default:
 			return fmt.Errorf("%w: type %d", ErrBadMessage, typ)
 		}
+	})
+	end := s.now()
+	switch {
+	case err == nil:
+		s.emitSession(h, end, trace.Str("phase", "verdict"),
+			trace.Str("result", "pass"), trace.Num("e2e", end-start))
+	case errors.Is(err, ErrDenied):
+		s.emitSession(h, end, trace.Str("phase", "verdict"),
+			trace.Str("result", "fail"), trace.Num("e2e", end-start))
+	case errors.Is(err, ErrRefused):
+		s.emitSession(h, end, trace.Str("phase", "refused"),
+			trace.Num("e2e", end-start))
+	default:
+		s.emitSession(h, end, trace.Str("phase", "error"),
+			trace.Num("e2e", end-start))
+	}
+	return err
+}
+
+// now samples the simulated cycle counter for session events (0 when
+// the server has no cycle source).
+func (s *Server) now() uint64 {
+	if s.opt.Cycles == nil {
+		return 0
+	}
+	return s.opt.Cycles()
+}
+
+// emitSession emits one session-lifecycle event when Obs is wired.
+func (s *Server) emitSession(h Hello, cycle uint64, attrs ...trace.Attr) {
+	if s.opt.Obs == nil {
+		return
+	}
+	s.opt.Obs.Emit(trace.Event{
+		Cycle:   cycle,
+		Sub:     trace.SubRemote,
+		Kind:    trace.KindSession,
+		Subject: h.Device,
+		Attrs:   append([]trace.Attr{trace.Num("session", h.Session)}, attrs...),
 	})
 }
 

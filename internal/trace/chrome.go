@@ -28,18 +28,21 @@ import (
 type chromeEvent struct {
 	Name string      `json:"name"`
 	Ph   string      `json:"ph"`
-	TS   json.Number `json:"ts"`
+	TS   json.Number `json:"ts,omitempty"`
+	Dur  json.Number `json:"dur,omitempty"` // complete spans (ph "X") only
 	PID  int         `json:"pid"`
 	TID  int         `json:"tid"`
-	S    string      `json:"s"` // instant scope: thread
+	S    string      `json:"s,omitempty"` // instant scope: thread
 	Args chromeArgs  `json:"args"`
 }
 
 // chromeArgs carries the structured payload of an event.
 type chromeArgs struct {
-	Sub     string      `json:"sub"`
+	Name    string      `json:"name,omitempty"` // metadata (ph "M") payload
+	Sub     string      `json:"sub,omitempty"`
 	Subject string      `json:"subject,omitempty"`
 	Cycle   string      `json:"cycle,omitempty"` // exact decimal cycle
+	Dur     string      `json:"dur,omitempty"`   // exact decimal span length
 	Attrs   [][3]string `json:"attrs,omitempty"`
 }
 
@@ -117,37 +120,57 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 		if ce.Ph != "i" {
 			return nil, fmt.Errorf("chrome trace: event %d: unexpected phase %q", i, ce.Ph)
 		}
-		kind, err := ParseKind(ce.Name)
+		e, err := parseInstant(i, ce)
 		if err != nil {
-			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
-		}
-		sub, err := ParseSubsystem(ce.Args.Sub)
-		if err != nil {
-			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
-		}
-		if want := int(sub) + 1; ce.TID != want {
-			return nil, fmt.Errorf("chrome trace: event %d: tid %d does not match subsystem %s", i, ce.TID, sub)
-		}
-		cycle, err := eventCycle(ce)
-		if err != nil {
-			return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
-		}
-		e := Event{Cycle: cycle, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
-		for _, raw := range ce.Args.Attrs {
-			switch raw[1] {
-			case "n":
-				n, err := strconv.ParseUint(raw[2], 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %v", i, raw[2], err)
-				}
-				e.Attrs = append(e.Attrs, Num(raw[0], n))
-			case "s":
-				e.Attrs = append(e.Attrs, Str(raw[0], raw[2]))
-			default:
-				return nil, fmt.Errorf("chrome trace: event %d: unknown attr tag %q", i, raw[1])
-			}
+			return nil, err
 		}
 		events = append(events, e)
 	}
 	return events, nil
+}
+
+// parseAttrs decodes the [key, tag, value] attribute triples of one
+// record back into Attrs.
+func parseAttrs(i int, raws [][3]string) ([]Attr, error) {
+	var attrs []Attr
+	for _, raw := range raws {
+		switch raw[1] {
+		case "n":
+			n, err := strconv.ParseUint(raw[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %v", i, raw[2], err)
+			}
+			attrs = append(attrs, Num(raw[0], n))
+		case "s":
+			attrs = append(attrs, Str(raw[0], raw[2]))
+		default:
+			return nil, fmt.Errorf("chrome trace: event %d: unknown attr tag %q", i, raw[1])
+		}
+	}
+	return attrs, nil
+}
+
+// parseInstant decodes one ph "i" record back into an Event,
+// validating the kind/subsystem/tid invariants the writers maintain.
+func parseInstant(i int, ce chromeEvent) (Event, error) {
+	kind, err := ParseKind(ce.Name)
+	if err != nil {
+		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+	}
+	sub, err := ParseSubsystem(ce.Args.Sub)
+	if err != nil {
+		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+	}
+	if want := int(sub) + 1; ce.TID != want {
+		return Event{}, fmt.Errorf("chrome trace: event %d: tid %d does not match subsystem %s", i, ce.TID, sub)
+	}
+	cycle, err := eventCycle(ce)
+	if err != nil {
+		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+	}
+	e := Event{Cycle: cycle, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
+	if e.Attrs, err = parseAttrs(i, ce.Args.Attrs); err != nil {
+		return Event{}, err
+	}
+	return e, nil
 }

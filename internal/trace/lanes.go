@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Multi-lane Chrome trace export. Where chrome.go maps one platform to
+// one process (pid 1) with a thread per subsystem, a fleet run merges
+// many platforms plus the verifier plane into one file: each Lane
+// becomes its own process (pid = index+1, named via a process_name
+// metadata record), instant events keep the subsystem-per-thread
+// layout inside their lane, and completed spans (attestation sessions)
+// are emitted as complete-duration records (ph "X") so the viewer
+// draws one bar per session. The metadata key layout=fleet-lanes marks
+// the format; readers that only understand the single-lane layout can
+// still recover the instant events with ReadTraceEvents.
+
+// LanesLayout is the metadata value marking a multi-lane trace.
+const LanesLayout = "fleet-lanes"
+
+// ChromeSpan is one complete-duration record (ph "X") on a lane: a
+// named bar from Start for Dur cycles.
+type ChromeSpan struct {
+	Name    string // bar label (the session key)
+	Subject string
+	Start   uint64
+	Dur     uint64
+	Attrs   []Attr
+}
+
+// Lane is one process row of a multi-lane Chrome trace: a name, the
+// instant events on it, and the completed spans drawn as bars.
+type Lane struct {
+	Name   string
+	Events []Event
+	Spans  []ChromeSpan
+}
+
+// spanThread is the tid complete-duration records land on — below the
+// per-subsystem instant threads so sessions render as their own row.
+const spanThread = 0
+
+// WriteChromeTraceLanes encodes lanes as multi-process Chrome
+// trace_event JSON (lane i → pid i+1).
+func WriteChromeTraceLanes(w io.Writer, lanes []Lane) error {
+	file := chromeFile{
+		DisplayTimeUnit: "ns",
+		Metadata: map[string]string{
+			"clock":  "simulated-cycles",
+			"layout": LanesLayout,
+		},
+	}
+	for li, lane := range lanes {
+		pid := li + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			TID:  spanThread,
+			Args: chromeArgs{Name: lane.Name},
+		})
+		for _, e := range lane.Events {
+			cycle := strconv.FormatUint(e.Cycle, 10)
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				TS:   json.Number(cycle),
+				PID:  pid,
+				TID:  int(e.Sub) + 1,
+				S:    "t",
+				Args: chromeArgs{Sub: e.Sub.String(), Subject: e.Subject, Cycle: cycle},
+			}
+			ce.Args.Attrs = encodeAttrs(e.Attrs)
+			file.TraceEvents = append(file.TraceEvents, ce)
+		}
+		for _, s := range lane.Spans {
+			start := strconv.FormatUint(s.Start, 10)
+			dur := strconv.FormatUint(s.Dur, 10)
+			ce := chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				TS:   json.Number(start),
+				Dur:  json.Number(dur),
+				PID:  pid,
+				TID:  spanThread,
+				Args: chromeArgs{Subject: s.Subject, Cycle: start, Dur: dur},
+			}
+			ce.Args.Attrs = encodeAttrs(s.Attrs)
+			file.TraceEvents = append(file.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// encodeAttrs renders Attrs as lossless [key, tag, value] triples.
+func encodeAttrs(attrs []Attr) [][3]string {
+	var out [][3]string
+	for _, a := range attrs {
+		if a.IsNum {
+			out = append(out, [3]string{a.Key, "n", strconv.FormatUint(a.Num, 10)})
+		} else {
+			out = append(out, [3]string{a.Key, "s", a.Str})
+		}
+	}
+	return out
+}
+
+// ReadChromeTraceLanes decodes a trace written by WriteChromeTraceLanes
+// back into lanes, in pid order of first appearance.
+func ReadChromeTraceLanes(r io.Reader) ([]Lane, error) {
+	var file chromeFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	var lanes []Lane
+	byPID := make(map[int]int) // pid → index into lanes
+	laneFor := func(pid int) *Lane {
+		if idx, ok := byPID[pid]; ok {
+			return &lanes[idx]
+		}
+		byPID[pid] = len(lanes)
+		lanes = append(lanes, Lane{})
+		return &lanes[len(lanes)-1]
+	}
+	for i, ce := range file.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			if ce.Name != "process_name" {
+				return nil, fmt.Errorf("chrome trace: event %d: unknown metadata %q", i, ce.Name)
+			}
+			laneFor(ce.PID).Name = ce.Args.Name
+		case "i":
+			e, err := parseInstant(i, ce)
+			if err != nil {
+				return nil, err
+			}
+			lane := laneFor(ce.PID)
+			lane.Events = append(lane.Events, e)
+		case "X":
+			s := ChromeSpan{Name: ce.Name, Subject: ce.Args.Subject}
+			start, err := eventCycle(ce)
+			if err != nil {
+				return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+			}
+			s.Start = start
+			durStr := ce.Args.Dur
+			if durStr == "" {
+				durStr = ce.Dur.String()
+			}
+			if s.Dur, err = strconv.ParseUint(durStr, 10, 64); err != nil {
+				return nil, fmt.Errorf("chrome trace: event %d: bad dur %q: %v", i, durStr, err)
+			}
+			if s.Attrs, err = parseAttrs(i, ce.Args.Attrs); err != nil {
+				return nil, err
+			}
+			lane := laneFor(ce.PID)
+			lane.Spans = append(lane.Spans, s)
+		default:
+			return nil, fmt.Errorf("chrome trace: event %d: unexpected phase %q", i, ce.Ph)
+		}
+	}
+	return lanes, nil
+}
+
+// ReadTraceEvents recovers the flat instant-event stream from a Chrome
+// trace in either layout: the single-platform form WriteChromeTrace
+// produces, or the multi-lane fleet form — whose metadata and span
+// records are skipped and whose lanes are concatenated in file order.
+// It is the tolerant entry point analysis tools should use.
+func ReadTraceEvents(r io.Reader) ([]Event, error) {
+	var file chromeFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	var events []Event
+	for i, ce := range file.TraceEvents {
+		switch ce.Ph {
+		case "M", "X":
+			continue
+		case "i":
+			e, err := parseInstant(i, ce)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, e)
+		default:
+			return nil, fmt.Errorf("chrome trace: event %d: unexpected phase %q", i, ce.Ph)
+		}
+	}
+	return events, nil
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -81,6 +82,15 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum
 }
 
+// Snapshot returns copies of the bucket upper bounds and the cumulative
+// bucket counts (len(bounds)+1 entries, the last being the implicit
+// +Inf bucket), plus the sum and total — the histogram's full exported
+// state, for benchmark summaries.
+func (h *Histogram) Snapshot() (bounds, cumulative []uint64, sum, total uint64) {
+	b, c, s, t := h.snapshot()
+	return append([]uint64(nil), b...), c, s, t
+}
+
 // snapshot returns cumulative bucket counts, sum and total.
 func (h *Histogram) snapshot() (bounds []uint64, cum []uint64, sum, total uint64) {
 	h.mu.Lock()
@@ -94,15 +104,59 @@ func (h *Histogram) snapshot() (bounds []uint64, cum []uint64, sum, total uint64
 	return h.bounds, cum, h.sum, h.total
 }
 
-// metric is one registered metric with its metadata.
+// Label is one Prometheus label pair, attached to a metric at
+// registration time. Values are escaped at export, so adversarial
+// device or provider names cannot corrupt the exposition.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// metric is one registered metric with its metadata. Metrics sharing a
+// name but differing in labels form one family: the HELP/TYPE header is
+// emitted once (from the first registration) and each label set
+// contributes its own samples.
 type metric struct {
-	name string
-	help string
-	kind string
+	name   string
+	labels []Label
+	help   string
+	kind   string
 
 	counter *Counter
 	gauge   func() uint64
 	hist    *Histogram
+}
+
+// renderLabels renders a label set as the canonical escaped {…} sample
+// suffix ("" for an empty set).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// sample renders the full sample name — family name plus the escaped
+// {labels} suffix, with extra labels (the histogram `le` bound)
+// appended last.
+func (m *metric) sample(extra ...Label) string {
+	if len(m.labels) == 0 && len(extra) == 0 {
+		return m.name
+	}
+	all := append(append([]Label(nil), m.labels...), extra...)
+	return m.name + renderLabels(all)
 }
 
 // Registry holds a subsystem's (or the whole platform's) metrics in
@@ -121,24 +175,37 @@ func NewRegistry() *Registry {
 func (r *Registry) register(m *metric) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.byName[m.name]; dup {
-		panic(fmt.Sprintf("trace: duplicate metric %q", m.name))
+	key := m.sample()
+	if _, dup := r.byName[key]; dup {
+		panic(fmt.Sprintf("trace: duplicate metric %q", key))
 	}
-	r.byName[m.name] = m
+	r.byName[key] = m
 	r.metrics = append(r.metrics, m)
 }
 
 // Counter registers and returns a new counter.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help)
+}
+
+// CounterWith registers and returns a new counter carrying the given
+// labels. Metrics sharing a name form one family; registering the same
+// (name, labels) pair twice panics.
+func (r *Registry) CounterWith(name, help string, labels ...Label) *Counter {
 	c := &Counter{}
-	r.register(&metric{name: name, help: help, kind: metricCounter, counter: c})
+	r.register(&metric{name: name, labels: labels, help: help, kind: metricCounter, counter: c})
 	return c
 }
 
 // Gauge registers a gauge whose value is sampled from fn at export
 // time — zero cost on the simulation path.
 func (r *Registry) Gauge(name, help string, fn func() uint64) {
-	r.register(&metric{name: name, help: help, kind: metricGauge, gauge: fn})
+	r.GaugeWith(name, help, fn)
+}
+
+// GaugeWith registers a labelled gauge sampled from fn at export time.
+func (r *Registry) GaugeWith(name, help string, fn func() uint64, labels ...Label) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: metricGauge, gauge: fn})
 }
 
 // GaugeFloat is not supported: the platform is cycle-exact and all
@@ -150,6 +217,13 @@ func (r *Registry) Histogram(name, help string, bounds ...uint64) *Histogram {
 	h := NewHistogram(bounds...)
 	r.register(&metric{name: name, help: help, kind: metricHistogram, hist: h})
 	return h
+}
+
+// AttachHistogram registers an existing histogram — for histograms
+// that must exist (and observe) before the export registry is
+// assembled.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: metricHistogram, hist: h})
 }
 
 // list returns the metrics in registration order.

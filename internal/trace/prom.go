@@ -53,23 +53,32 @@ func escapeLabelValue(s string) string {
 // newlines, quotes, backslashes) cannot corrupt the exposition.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	headered := make(map[string]bool)
 	for _, m := range r.list() {
-		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
-		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		if !headered[m.name] {
+			// One HELP/TYPE header per family: labelled variants of the
+			// same name share the header of their first registration.
+			headered[m.name] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		}
 		switch m.kind {
 		case metricCounter:
-			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+			fmt.Fprintf(bw, "%s %d\n", m.sample(), m.counter.Value())
 		case metricGauge:
-			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge())
+			fmt.Fprintf(bw, "%s %d\n", m.sample(), m.gauge())
 		case metricHistogram:
 			bounds, cum, sum, total := m.hist.snapshot()
-			for i, b := range bounds {
-				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", m.name,
-					escapeLabelValue(strconv.FormatUint(b, 10)), cum[i])
+			withLE := func(le string) string {
+				return renderLabels(append(append([]Label(nil), m.labels...),
+					Label{Key: "le", Value: le}))
 			}
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, total)
-			fmt.Fprintf(bw, "%s_sum %d\n", m.name, sum)
-			fmt.Fprintf(bw, "%s_count %d\n", m.name, total)
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, withLE(strconv.FormatUint(b, 10)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, withLE("+Inf"), total)
+			fmt.Fprintf(bw, "%s_sum%s %d\n", m.name, renderLabels(m.labels), sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.name, renderLabels(m.labels), total)
 		}
 	}
 	return bw.Flush()

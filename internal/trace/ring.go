@@ -1,0 +1,69 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded Sink: a fixed-capacity ring buffer that keeps the
+// most recent events and silently overwrites the oldest once full. It
+// is the storage behind the fleet flight recorder — a device can emit
+// millions of events over a long run while the recorder retains only
+// the trailing window, so dumping it on an incident is O(capacity)
+// regardless of run length.
+//
+// Like Buffer it is safe for concurrent emission; unlike Buffer it
+// never allocates after construction, so attaching one to a hot
+// platform costs a mutex and a slot write per event.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int  // slot the next event lands in
+	wrapd bool // true once the ring has overwritten at least one slot
+}
+
+// NewRing builds a ring holding at most capacity events. Capacity must
+// be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: NewRing capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink, overwriting the oldest event when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapd = true
+	}
+	r.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of events currently retained
+// (== Cap once the ring has wrapped).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapd {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the retained events oldest-first. The result is a
+// copy; the ring keeps recording.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapd {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringEvent(n int) Event {
+	return Event{Cycle: uint64(n), Sub: SubRemote, Kind: KindSession, Subject: fmt.Sprintf("e%d", n)}
+}
+
+func ringCycles(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, e := range evs {
+		out[i] = e.Cycle
+	}
+	return out
+}
+
+func wantCycles(t *testing.T, got []Event, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d (%v)", len(got), len(want), ringCycles(got))
+	}
+	for i, w := range want {
+		if got[i].Cycle != w {
+			t.Fatalf("snapshot cycles = %v, want %v", ringCycles(got), want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		r.Emit(ringEvent(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	wantCycles(t, r.Snapshot(), 1, 2, 3)
+}
+
+func TestRingExactCapacityBoundary(t *testing.T) {
+	r := NewRing(4)
+	// Exactly capacity events: nothing overwritten yet, order preserved.
+	for i := 1; i <= 4; i++ {
+		r.Emit(ringEvent(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len at exact capacity = %d, want 4", r.Len())
+	}
+	wantCycles(t, r.Snapshot(), 1, 2, 3, 4)
+
+	// One past capacity: the single oldest event is gone.
+	r.Emit(ringEvent(5))
+	if r.Len() != 4 {
+		t.Fatalf("len after wrap = %d, want 4", r.Len())
+	}
+	wantCycles(t, r.Snapshot(), 2, 3, 4, 5)
+}
+
+func TestRingMultipleWraps(t *testing.T) {
+	r := NewRing(3)
+	// 2*cap+1 events: retains exactly the trailing cap, oldest-first.
+	for i := 1; i <= 7; i++ {
+		r.Emit(ringEvent(i))
+	}
+	wantCycles(t, r.Snapshot(), 5, 6, 7)
+	// Exactly another full lap lands back on the same boundary.
+	for i := 8; i <= 10; i++ {
+		r.Emit(ringEvent(i))
+	}
+	wantCycles(t, r.Snapshot(), 8, 9, 10)
+}
+
+func TestRingCapacityOne(t *testing.T) {
+	r := NewRing(1)
+	r.Emit(ringEvent(1))
+	wantCycles(t, r.Snapshot(), 1)
+	r.Emit(ringEvent(2))
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+	wantCycles(t, r.Snapshot(), 2)
+}
+
+func TestRingSnapshotIsCopy(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(ringEvent(1))
+	snap := r.Snapshot()
+	r.Emit(ringEvent(2))
+	r.Emit(ringEvent(3))
+	wantCycles(t, snap, 1)
+	wantCycles(t, r.Snapshot(), 2, 3)
+}
+
+func TestRingRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}

@@ -110,6 +110,14 @@ const (
 	// hello-stage refusals made by the verifier plane about a device.
 	KindFleet
 
+	// KindSession brackets one device-initiated attestation session on
+	// the device side (SubRemote): a phase=hello event when the session
+	// opens and a closing event (phase=verdict/refused/error) stamped
+	// with the device-cycle end-to-end latency. Both carry the session
+	// ordinal that the plane echoes on its KindFleet decision, so the
+	// two time domains correlate on (device, session).
+	KindSession
+
 	numKinds
 )
 
@@ -119,7 +127,7 @@ var kindNames = [numKinds]string{
 	"attest", "activation", "inject", "custom", "ipc",
 	"deadline-miss", "slo-violation", "verify-denied",
 	"update-accepted", "update-denied", "update-rolled-back",
-	"fleet",
+	"fleet", "session",
 }
 
 // String names the kind.
@@ -138,6 +146,14 @@ func ParseKind(s string) (Kind, error) {
 		}
 	}
 	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// SessionKey renders the canonical fleet session correlation key:
+// device name plus the device's 0-based session ordinal. Device-side
+// KindSession events and plane-side KindFleet events both resolve to
+// this key, which is what joins the two time domains.
+func SessionKey(device string, ordinal uint64) string {
+	return fmt.Sprintf("%s#%d", device, ordinal)
 }
 
 // Attr is one structured event attribute: a key with either a string or
