@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check check bench tables interp-bench latency-bench fleet-bench clean
+.PHONY: all build vet lint test race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check bounds-check check bench tables interp-bench latency-bench fleet-bench clean
 
 all: build
 
@@ -75,11 +75,21 @@ fleet-check:
 fleet-trace-check:
 	$(GO) test -race -v -run 'TestFleetTraceCheck' ./cmd/tytan-fleet/
 
+# bounds-check is the resource-bound determinism gate: every shipped
+# task source must carry certified stack and cycle bounds under
+# `tytan-lint -bounds`, and two full JSON runs over the corpus must be
+# byte-identical.
+bounds-check:
+	$(GO) run ./cmd/tytan-lint -bounds -json /tmp/tytan-bounds-a.json examples/tasks/*.s
+	$(GO) run ./cmd/tytan-lint -bounds -json /tmp/tytan-bounds-b.json examples/tasks/*.s
+	cmp /tmp/tytan-bounds-a.json /tmp/tytan-bounds-b.json
+	rm -f /tmp/tytan-bounds-a.json /tmp/tytan-bounds-b.json
+
 # check is the gate CI and pre-commit should run: build, vet, lint, the
 # full test suite under the race detector, the chaos scenario, and the
-# observability, SLO, engine benchmark, update-scenario, fleet and
-# fleet-telemetry gates.
-check: build vet lint race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check
+# observability, SLO, engine benchmark, update-scenario, fleet,
+# fleet-telemetry and resource-bound gates.
+check: build vet lint race chaos trace-check slo-check bench-check scenario-check fleet-check fleet-trace-check bounds-check
 
 bench:
 	$(GO) test -bench=. -benchtime=10x -run=^$$ .

@@ -13,10 +13,18 @@
 //	tytan-lint task.telf                 # text report
 //	tytan-lint -json - examples/tasks/*.s
 //	tytan-lint -strict task.s            # warnings also fail
+//	tytan-lint -bounds task.s            # uncertified resource bounds also fail
+//
+// Every report carries the image's static resource bounds (worst-case
+// stack depth and worst-case execution burst); -bounds turns them into
+// a requirement: an image whose stack or cycle bound the engine cannot
+// certify fails the run, the same admission policy the platform's
+// bounds gate enforces at load time.
 //
 // Exit status: 0 when every image is clean, 1 when any image has Error
-// findings (or, with -strict, warnings), 2 on usage or input errors.
-// Output depends only on the inputs: two runs are byte-identical.
+// findings (or, with -strict, warnings; or, with -bounds, uncertified
+// bounds), 2 on usage or input errors. Output depends only on the
+// inputs: two runs are byte-identical.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 type config struct {
 	jsonPath string
 	strict   bool
+	bounds   bool
 	inputs   []string
 }
 
@@ -41,6 +50,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.jsonPath, "json", "", `write the reports as JSON to this file ("-" = stdout, replacing the text report)`)
 	flag.BoolVar(&cfg.strict, "strict", false, "treat warnings as errors for the exit status")
+	flag.BoolVar(&cfg.bounds, "bounds", false, "require certified stack and cycle bounds for the exit status")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tytan-lint [flags] <image.telf | task.s> ...\n")
 		flag.PrintDefaults()
@@ -95,6 +105,9 @@ func run(cfg config, stdout io.Writer) (int, error) {
 	for _, rep := range reports {
 		_, warn, errs := rep.Counts()
 		if errs > 0 || (cfg.strict && warn > 0) {
+			dirty = true
+		}
+		if cfg.bounds && (rep.Bounds == nil || !rep.Bounds.StackBounded || !rep.Bounds.CyclesBounded) {
 			dirty = true
 		}
 	}

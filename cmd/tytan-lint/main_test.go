@@ -111,3 +111,58 @@ func TestExamplesCorpusClean(t *testing.T) {
 		t.Fatalf("examples not clean: code=%d err=%v\n%s", code, err, out.String())
 	}
 }
+
+// TestBoundsCheck pins the -bounds mode: a certified image passes, an
+// image with an uncertified bound fails even without error findings,
+// the rendered text names the bounds, and two runs over the same
+// inputs are byte-identical (the determinism contract make bounds-check
+// re-verifies from the shell).
+func TestBoundsCheck(t *testing.T) {
+	dir := t.TempDir()
+	certified := writeImage(t, dir, sverify.GenCountedLoop, 0)
+	uncertified := writeImage(t, dir, sverify.GenIndirectCallOpaque, 0)
+
+	var out bytes.Buffer
+	if code, err := run(config{bounds: true, inputs: []string{certified}}, &out); code != 0 || err != nil {
+		t.Fatalf("certified image under -bounds: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "bounds: stack ") {
+		t.Fatalf("text report missing bounds line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code, err := run(config{bounds: true, inputs: []string{uncertified}}, &out); code != 1 || err != nil {
+		t.Fatalf("uncertified image under -bounds: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "unbounded") {
+		t.Fatalf("text report missing unbounded verdict:\n%s", out.String())
+	}
+	// Without -bounds the same image passes (its findings are warnings).
+	if code, err := run(config{inputs: []string{uncertified}}, &out); code != 0 || err != nil {
+		t.Fatalf("uncertified image without -bounds: code=%d err=%v", code, err)
+	}
+
+	jsonA := filepath.Join(dir, "a.json")
+	jsonB := filepath.Join(dir, "b.json")
+	inputs := []string{certified, uncertified}
+	if _, err := run(config{bounds: true, jsonPath: jsonA, inputs: inputs}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(config{bounds: true, jsonPath: jsonB, inputs: inputs}, &out); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(jsonA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jsonB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two -bounds -json runs over the same inputs differ")
+	}
+	if !strings.Contains(string(a), `"bounds"`) {
+		t.Fatal("JSON report missing the bounds object")
+	}
+}

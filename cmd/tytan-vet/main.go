@@ -19,6 +19,10 @@
 //	              telf.DecodeSigned + Verify so the signature, version
 //	              manifest and payload digest are enforced; a raw
 //	              Decode there is a verification bypass.
+//	errwrap       fmt.Errorf formatting an error argument with %v or %s
+//	              — the chain breaks there, so errors.Is/As callers
+//	              (every typed-refusal test in this repo) stop matching;
+//	              wrap with %w instead.
 //
 // A finding is waived by a `//tytan:allow <pass>` comment on the same
 // line or the line above, for the rare case where host time or map
@@ -46,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -175,6 +180,7 @@ func (v *vetter) checkDir(dir string) error {
 		v.unseededrand(f, info, waived)
 		v.maprange(f, info, waived)
 		v.rawdecode(f, info, waived)
+		v.errwrap(f, info, waived)
 	}
 	return nil
 }
@@ -305,6 +311,85 @@ func (v *vetter) rawdecode(f *ast.File, info *types.Info, waived map[int]map[str
 			return true
 		})
 	}
+}
+
+// formatVerbs extracts the argument-consuming verb letters of a printf
+// format string, in order. It returns ok=false for formats the simple
+// scanner cannot pair positionally (explicit argument indexes, `*`
+// widths) — those calls are skipped rather than misreported.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}
+
+// errwrap flags fmt.Errorf calls that format an error-typed argument
+// with %v or %s: the resulting error does not carry the cause in its
+// chain, so errors.Is/As on the wrapped sentinel silently stops
+// matching. %w is the sanctioned verb (multiple %w are fine). The rare
+// place that deliberately flattens an error into text waives with
+// `//tytan:allow errwrap`.
+func (v *vetter) errwrap(f *ast.File, info *types.Info, waived map[int]map[string]bool) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs, ok := formatVerbs(format)
+		if !ok || len(verbs) != len(call.Args)-1 {
+			return true
+		}
+		for i, arg := range call.Args[1:] {
+			if verbs[i] != 'v' && verbs[i] != 's' {
+				continue
+			}
+			tv, ok := info.Types[arg]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if !types.Implements(tv.Type, errType) {
+				continue
+			}
+			v.report(arg.Pos(), "errwrap",
+				fmt.Sprintf("fmt.Errorf formats an error with %%%c, breaking the error chain; wrap it with %%w", verbs[i]), waived)
+		}
+		return true
+	})
 }
 
 // outputCallNames are the calls that make a loop body order-sensitive:

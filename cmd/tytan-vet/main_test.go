@@ -103,3 +103,32 @@ func TestMissingRoot(t *testing.T) {
 		t.Fatalf("missing root: code=%d err=%v", code, err)
 	}
 }
+
+// TestErrwrapFixtureFindings pins the errwrap pass against the wrappkg
+// fixture: the two chain-breaking Errorf calls are flagged; %w
+// wrapping, non-error %v args, the waiver and the unpairable indexed
+// format are not.
+func TestErrwrapFixtureFindings(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{filepath.Join("testdata", "src", "wrappkg")}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	got := out.String()
+	if n := strings.Count(got, "[errwrap]"); n != 2 {
+		t.Errorf("errwrap findings = %d, want 2\n%s", n, got)
+	}
+	for _, frag := range []string{"wrap.go:16", "wrap.go:21"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("expected finding at %s missing:\n%s", frag, got)
+		}
+	}
+	for _, frag := range []string{"wrap.go:26:", "wrap.go:32:", "wrap.go:38:", "wrap.go:44:"} {
+		if strings.Contains(got, frag) {
+			t.Errorf("clean, waived or skipped line %s flagged:\n%s", frag, got)
+		}
+	}
+}

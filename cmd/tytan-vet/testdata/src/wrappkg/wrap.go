@@ -1,0 +1,45 @@
+// Package wrappkg is the errwrap fixture: fmt.Errorf flattening an
+// error with %v or %s must be flagged, while %w wrapping, non-error %v
+// arguments, unpairable formats and the explicit waiver stay clean.
+package wrappkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is a sentinel the call sites wrap.
+var ErrBase = errors.New("base failure")
+
+// FlattenV loses the chain through %v (errwrap finding).
+func FlattenV(err error) error {
+	return fmt.Errorf("load failed: %v", err)
+}
+
+// FlattenS loses the chain through %s (errwrap finding).
+func FlattenS(name string, err error) error {
+	return fmt.Errorf("task %q: %s", name, err)
+}
+
+// WrapGood keeps the chain — clean.
+func WrapGood(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+// MixedGood formats non-error values with %v next to a wrapped cause —
+// clean.
+func MixedGood(n int, err error) error {
+	return fmt.Errorf("attempt %v: %w", n, err)
+}
+
+// Waived deliberately flattens for a display string — waived.
+func Waived(err error) string {
+	//tytan:allow errwrap
+	return fmt.Errorf("display: %v", err).Error()
+}
+
+// Indexed uses explicit argument indexes the scanner does not pair —
+// skipped, not misreported.
+func Indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}

@@ -437,3 +437,25 @@ func TestWriteFolded(t *testing.T) {
 		t.Error("folded output changed between reads")
 	}
 }
+
+func TestAnalyzeBurstsAndCrossCheck(t *testing.T) {
+	a := Analyze([]trace.Event{
+		ev(100, trace.SubKernel, trace.KindTaskBurst, "t0", trace.Num("cycles", 40), trace.Str("boundary", "svc")),
+		ev(300, trace.SubKernel, trace.KindTaskBurst, "t0", trace.Num("cycles", 90), trace.Str("boundary", "svc")),
+		ev(500, trace.SubKernel, trace.KindTaskBurst, "t1", trace.Num("cycles", 25), trace.Str("boundary", "hlt")),
+	})
+	st := a.Bursts["t0"]
+	if st.Count != 2 || st.Max != 90 || st.Sum != 130 {
+		t.Errorf("bursts[t0] = %+v, want {Count:2 Max:90 Sum:130}", st)
+	}
+
+	// t0's worst burst (90) breaks an 80-cycle certificate; t1 is within
+	// its bound; an uncertified subject is never reported.
+	viol := a.CrossCheckBounds(map[string]uint64{"t0": 80, "t1": 25})
+	if len(viol) != 1 || viol[0].Subject != "t0" || viol[0].Measured != 90 || viol[0].Bound != 80 {
+		t.Errorf("violations = %+v, want one for t0 (90 > 80)", viol)
+	}
+	if viol := a.CrossCheckBounds(map[string]uint64{"t0": 90}); len(viol) != 0 {
+		t.Errorf("bound met exactly but reported: %+v", viol)
+	}
+}

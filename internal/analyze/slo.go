@@ -177,7 +177,7 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 		valStr := strings.TrimSuffix(fields[len(fields)-1], "c")
 		v, err := strconv.ParseUint(valStr, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("slo line %d: bad value %q: %v", lineNo, fields[len(fields)-1], err)
+			return nil, fmt.Errorf("slo line %d: bad value %q: %w", lineNo, fields[len(fields)-1], err)
 		}
 		rule.Bound = v
 		spec.Rules = append(spec.Rules, rule)

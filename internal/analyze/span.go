@@ -80,6 +80,50 @@ type Analysis struct {
 	// SLOViolations counts KindSLOViolation events already present in
 	// the stream (a prior online monitor's verdicts).
 	SLOViolations int
+	// Bursts aggregates KindTaskBurst events per task: the measured
+	// trap-to-trap execution segments the static verifier's worst-case
+	// burst bound must dominate. Nil when the stream has none.
+	Bursts map[string]BurstStats
+}
+
+// BurstStats aggregates the measured execution bursts of one task.
+type BurstStats struct {
+	Count int    // closed bursts observed
+	Max   uint64 // worst measured burst, in cycles
+	Sum   uint64 // total cycles across all bursts
+}
+
+// BoundsViolation reports one task whose measured worst burst exceeded
+// its static worst-case bound — evidence the bound certificate (or the
+// cost model under it) is wrong, since the static side must dominate.
+type BoundsViolation struct {
+	Subject  string `json:"subject"`
+	Measured uint64 `json:"measured"` // worst observed burst, cycles
+	Bound    uint64 `json:"bound"`    // static worst-case bound, cycles
+}
+
+// CrossCheckBounds compares each task's worst measured burst against
+// its static worst-case burst bound and returns the violations, sorted
+// by subject. bounds maps task names to certified cycle bounds (e.g.
+// from trusted.RegistryEntry.Bounds); tasks without an entry — or whose
+// bound is not certified — are skipped, never reported.
+func (a *Analysis) CrossCheckBounds(bounds map[string]uint64) []BoundsViolation {
+	names := make([]string, 0, len(a.Bursts))
+	for n := range a.Bursts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []BoundsViolation
+	for _, n := range names {
+		bound, ok := bounds[n]
+		if !ok {
+			continue
+		}
+		if st := a.Bursts[n]; st.Max > bound {
+			out = append(out, BoundsViolation{Subject: n, Measured: st.Max, Bound: bound})
+		}
+	}
+	return out
 }
 
 // Unclosed returns the unclosed spans.
@@ -272,6 +316,19 @@ func Analyze(events []trace.Event) *Analysis {
 				// Delivery latency: send → the receiver's next dispatch.
 				open = append(open, openSpan{class: ClassIPC, subject: to.Str, start: e.Cycle})
 			}
+
+		case trace.KindTaskBurst:
+			cycles, _ := e.NumAttr("cycles")
+			if a.Bursts == nil {
+				a.Bursts = make(map[string]BurstStats)
+			}
+			st := a.Bursts[e.Subject]
+			st.Count++
+			st.Sum += cycles
+			if cycles > st.Max {
+				st.Max = cycles
+			}
+			a.Bursts[e.Subject] = st
 
 		case trace.KindDeadlineMiss:
 			a.DeadlineMisses++

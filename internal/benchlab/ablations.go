@@ -189,7 +189,7 @@ func AblationLoaderQuantum() (Table, error) {
 			}
 		}
 		if !req.Done() || req.Err() != nil {
-			return Table{}, fmt.Errorf("benchlab: quantum %d load failed: %v", q, req.Err())
+			return Table{}, fmt.Errorf("benchlab: quantum %d load failed: %w", q, req.Err())
 		}
 		var gaps []uint64
 		var prev uint64

@@ -164,7 +164,7 @@ func MeasureCreation() (CreationResult, error) {
 			return core.LoadBreakdown{}, err
 		}
 		if !req.Done() || req.Err() != nil {
-			return core.LoadBreakdown{}, fmt.Errorf("benchlab: creation load: %v", req.Err())
+			return core.LoadBreakdown{}, fmt.Errorf("benchlab: creation load: %w", req.Err())
 		}
 		return req.Breakdown, nil
 	}
@@ -231,7 +231,7 @@ func MeasureCreationScaling() ([]ScalingPoint, error) {
 				return nil, err
 			}
 			if !req.Done() || req.Err() != nil {
-				return nil, fmt.Errorf("benchlab: scaling load %d/%v: %v", size, kind, req.Err())
+				return nil, fmt.Errorf("benchlab: scaling load %d/%v: %w", size, kind, req.Err())
 			}
 			if kind == rtos.KindSecure {
 				pt.Secure = req.Breakdown.Total()

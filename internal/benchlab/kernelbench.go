@@ -122,6 +122,7 @@ func (k *KernelRun) Run() (KernelResult, error) {
 		case machine.StopBudget:
 			// keep going
 		default:
+			//tytan:allow errwrap — faults are reported as text in the result
 			return KernelResult{}, fmt.Errorf("kernel stopped with %v (fault %v)", res.Reason, res.Fault)
 		}
 	}

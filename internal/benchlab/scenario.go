@@ -12,8 +12,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
+	"repro/internal/loader"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
+	"repro/internal/sverify"
+	"repro/internal/telf"
 	"repro/internal/trace"
 	"repro/internal/trusted"
 )
@@ -245,6 +248,12 @@ func UpdateScenarios() []Scenario {
 			Gloss: "update to an identity the supervisor quarantined is refused",
 			SLO:   "eampu_violation == 0",
 			Run:   scenarioQuarantinedRefused,
+		},
+		{
+			Name:  "bounded-task-admission",
+			Gloss: "unbounded and over-budget images refused pre-load with typed reasons; the certified task runs in budget",
+			SLO:   "eampu_violation == 0",
+			Run:   scenarioBoundedTaskAdmission,
 		},
 		{
 			Name:  "fleet-attestation-sweep",
@@ -542,6 +551,7 @@ func scenarioDowngradeRefused(e *ScenarioEnv) error {
 		return err
 	}
 	if _, err := e.P.ApplyUpdate(rep.New, older, 0); !errors.Is(err, trusted.ErrUpdateDowngrade) {
+		//tytan:allow errwrap — the error value is the reported datum, may be nil
 		return fmt.Errorf("older version = %v, want ErrUpdateDowngrade", err)
 	}
 	equal, err := e.signed(appV1Src, ver)
@@ -549,6 +559,7 @@ func scenarioDowngradeRefused(e *ScenarioEnv) error {
 		return err
 	}
 	if _, err := e.P.ApplyUpdate(rep.New, equal, 0); !errors.Is(err, trusted.ErrUpdateDowngrade) {
+		//tytan:allow errwrap — the error value is the reported datum, may be nil
 		return fmt.Errorf("equal version = %v, want ErrUpdateDowngrade", err)
 	}
 	if !e.alive(rep.New) {
@@ -599,6 +610,7 @@ func scenarioCorruptRefused(e *ScenarioEnv) error {
 	}
 	for _, c := range cases {
 		if _, err := e.P.ApplyUpdate(app.ID, c.pkg, 0); !errors.Is(err, c.want) {
+			//tytan:allow errwrap — the error value is the reported datum, may be nil
 			return fmt.Errorf("%s = %v, want %v", c.name, err, c.want)
 		}
 		if !e.alive(app.ID) {
@@ -649,6 +661,7 @@ func scenarioPowerFailMidSwap(e *ScenarioEnv) error {
 			return err
 		}
 		if _, err := e.P.ApplyUpdate(app.ID, pkg, 0); !errors.Is(err, trusted.ErrUpdateAborted) {
+			//tytan:allow errwrap — the error value is the reported datum, may be nil
 			return fmt.Errorf("power fail at %s = %v, want ErrUpdateAborted", ph, err)
 		}
 		if !e.alive(app.ID) {
@@ -739,6 +752,7 @@ func scenarioQuarantinedRefused(e *ScenarioEnv) error {
 		return err
 	}
 	if _, err := e.P.ApplyUpdate(app.ID, pkg, 0); !errors.Is(err, trusted.ErrUpdateQuarantined) {
+		//tytan:allow errwrap — the error value is the reported datum, may be nil
 		return fmt.Errorf("update to quarantined identity = %v, want ErrUpdateQuarantined", err)
 	}
 	if !e.alive(app.ID) {
@@ -746,6 +760,126 @@ func scenarioQuarantinedRefused(e *ScenarioEnv) error {
 	}
 	e.Notef("v2 quarantined after %d restarts; signed v%d update to it refused",
 		st.Restarts, 2+e.Seed)
+	return nil
+}
+
+// Admission probes for the bounded-task-admission scenario: a
+// never-trapping spin (no certifiable cycle bound) and a task whose
+// two-word frame cannot fit a 40-byte stack reservation once the
+// pre-emption context frame is added.
+const admitSpinSrc = `
+.task "admit-spin"
+.stack 64
+.text
+loop:
+	jmp loop
+`
+
+const admitDeepSrc = `
+.task "admit-deep"
+.stack 40
+.text
+	push r1
+	pop r1
+	hlt
+`
+
+// scenarioBoundedTaskAdmission arms the resource-bound admission gate
+// and walks it through its refusal taxonomy: a spin task with a
+// declared budget but no certifiable cycle bound, the worker resubmitted
+// under an impossible 1-cycle budget, and a stack that provably cannot
+// hold the pre-emption context frame. Each refusal must be typed
+// (ErrBoundsRejected) and traced as verify-denied with the matching
+// reason; the certified worker must then load under a budget equal to
+// its own certificate and run cleanly.
+func scenarioBoundedTaskAdmission(e *ScenarioEnv) error {
+	worker, err := asm.Assemble(bgSrc)
+	if err != nil {
+		return err
+	}
+	cert := sverify.Verify(worker, sverify.Config{}).Bounds
+	if cert == nil || !cert.CyclesBounded || !cert.StackBounded {
+		return fmt.Errorf("worker certificate missing: %+v", cert)
+	}
+
+	tight, err := asm.Assemble(strings.Replace(bgSrc, `"bg"`, `"admit-tight"`, 1))
+	if err != nil {
+		return err
+	}
+	if err := e.boot(core.Options{
+		BoundsAdmission: true,
+		CycleBudgets: map[string]uint64{
+			worker.Name: cert.Cycles, // exactly the certificate: admitted
+			"admit-spin": 100_000,
+			tight.Name:   1, // certified but over budget: refused
+		},
+	}); err != nil {
+		return err
+	}
+
+	refusals := []struct {
+		src    string
+		im     *telf.Image
+		reason string
+	}{
+		{src: admitSpinSrc, reason: "cycles-unbounded"},
+		{im: tight, reason: "cycle-over-budget"},
+		{src: admitDeepSrc, reason: "stack-over-reservation"},
+	}
+	for _, rc := range refusals {
+		im := rc.im
+		if im == nil {
+			if im, err = asm.Assemble(rc.src); err != nil {
+				return err
+			}
+		}
+		_, _, lerr := e.P.LoadTaskSync(im, core.Secure, 3)
+		if !errors.Is(lerr, loader.ErrBoundsRejected) {
+			//tytan:allow errwrap — the error value is the reported datum, may be nil
+			return fmt.Errorf("%s: err = %v, want ErrBoundsRejected", im.Name, lerr)
+		}
+		var be *loader.BoundsError
+		if !errors.As(lerr, &be) || be.Reason != rc.reason {
+			return fmt.Errorf("%s: refusal = %w, want reason %q", im.Name, lerr, rc.reason)
+		}
+		denied := 0
+		for _, ev := range e.Obs.Buf.Events() {
+			if ev.Kind == trace.KindVerifyDenied && ev.Subject == im.Name {
+				denied++
+				if a, ok := ev.Attr("reason"); !ok || a.Str != rc.reason {
+					return fmt.Errorf("%s: traced reason = %q, want %q", im.Name, a.Str, rc.reason)
+				}
+			}
+		}
+		if denied != 1 {
+			return fmt.Errorf("%s: %d verify-denied events, want 1", im.Name, denied)
+		}
+	}
+
+	tcb, _, err := e.P.LoadTaskSync(worker, core.Secure, 3)
+	if err != nil {
+		return fmt.Errorf("certified worker refused: %w", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := e.P.Run(chaosSlice); err != nil {
+			return err
+		}
+	}
+	if !e.alive(tcb.ID) {
+		return errors.New("admitted worker died")
+	}
+	// The burst telemetry must agree with the certificate it was
+	// admitted under.
+	a := analyze.Analyze(e.Obs.Buf.Events())
+	st, ok := a.Bursts[worker.Name]
+	if !ok || st.Count == 0 {
+		return errors.New("no measured bursts for the admitted worker")
+	}
+	if viol := a.CrossCheckBounds(map[string]uint64{worker.Name: cert.Cycles}); len(viol) != 0 {
+		return fmt.Errorf("measured burst exceeds the admission certificate: %+v", viol)
+	}
+	e.Notef("3 refusals typed and traced; worker admitted at %d-cycle budget, worst measured burst %d over %d bursts",
+		cert.Cycles, st.Max, st.Count)
 	return nil
 }
 

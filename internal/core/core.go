@@ -81,6 +81,16 @@ type Options struct {
 	// (it is a trusted-layer policy); combined with Baseline,
 	// NewPlatform fails with ErrBaselineOnly.
 	StrictVerify bool
+	// BoundsAdmission additionally arms the resource-bound admission
+	// check at boot (implies StrictVerify): the loader refuses images
+	// whose certified worst-case stack depth does not fit their stack
+	// reservation, or whose worst-case burst exceeds a cycle budget
+	// declared in CycleBudgets. TyTAN configuration only.
+	BoundsAdmission bool
+	// CycleBudgets maps image names to per-activation cycle budgets for
+	// the bounds admission check. Images without an entry carry no
+	// cycle constraint.
+	CycleBudgets map[string]uint64
 	// Engine selects the simulator execution engine. Purely a host-side
 	// speed/debuggability trade: every engine is cycle-exact and
 	// produces bit-identical guest behavior.
@@ -232,6 +242,11 @@ func NewPlatform(opt Options) (*Platform, error) {
 			return nil, fmt.Errorf("core: strict verify: %w", err)
 		}
 	}
+	if opt.BoundsAdmission {
+		if err := p.EnableBoundsAdmission(opt.CycleBudgets); err != nil {
+			return nil, fmt.Errorf("core: bounds admission: %w", err)
+		}
+	}
 
 	p.loader = newLoaderService(p, opt.LoaderQuantum)
 	tcb, err := k.NewServiceTask("os-loader", opt.LoaderPriority, p.loader)
@@ -268,6 +283,27 @@ func (p *Platform) EnableStrictVerify() error {
 
 // StrictVerify reports whether the pre-load verification gate is armed.
 func (p *Platform) StrictVerify() bool { return p.C != nil && p.C.Gate != nil }
+
+// EnableBoundsAdmission arms the static resource-bound admission check
+// on top of the strict verification gate (arming the gate first if
+// necessary): from now on every load is refused — with a typed
+// verify-denied trace event naming the reason — unless its certified
+// worst-case stack depth plus the pre-emption context frame fits its
+// stack reservation, and its worst-case burst fits any cycle budget
+// declared for it in budgets. TyTAN configuration only.
+func (p *Platform) EnableBoundsAdmission(budgets map[string]uint64) error {
+	if err := p.EnableStrictVerify(); err != nil {
+		return err
+	}
+	p.C.EnableBoundsAdmission(budgets)
+	return nil
+}
+
+// BoundsAdmission reports whether the resource-bound admission check is
+// armed.
+func (p *Platform) BoundsAdmission() bool {
+	return p.C != nil && p.C.Gate != nil && p.C.Gate.Bounds
+}
 
 // StaticOnly reports whether runtime task management is disabled.
 func (p *Platform) StaticOnly() bool { return p.staticOnly }

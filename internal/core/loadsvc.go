@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/loader"
 	"repro/internal/machine"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
+	"repro/internal/sverify"
 	"repro/internal/telf"
 	"repro/internal/trace"
 	"repro/internal/trusted"
@@ -103,6 +105,7 @@ type LoadRequest struct {
 	mjob     *trusted.MeasureJob
 	tcb      *rtos.TCB
 	identity sha1.Digest
+	report   *sverify.Report // verification report (strict gate only)
 	err      error
 
 	// StartCycle is when the loader began work; EndCycle when the task
@@ -279,19 +282,28 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		if err != nil {
 			if o := p.obs; o != nil {
 				info, warn, errs := rep.Counts()
+				attrs := []trace.Attr{
+					trace.Num("errors", uint64(errs)),
+					trace.Num("warnings", uint64(warn)),
+					trace.Num("notes", uint64(info)),
+				}
+				var be *loader.BoundsError
+				if errors.As(err, &be) {
+					// Resource-bound refusal: the typed reason names
+					// which admission rule failed.
+					attrs = append(attrs, trace.Str("reason", be.Reason))
+				} else if errFindings := rep.Errors(); len(errFindings) > 0 {
+					attrs = append(attrs, trace.Str("first", errFindings[0].Code))
+				}
 				o.Emit(trace.Event{
 					Cycle: p.M.Cycles(), Sub: trace.SubLoader,
 					Kind: trace.KindVerifyDenied, Subject: req.im.Name,
-					Attrs: []trace.Attr{
-						trace.Num("errors", uint64(errs)),
-						trace.Num("warnings", uint64(warn)),
-						trace.Num("notes", uint64(info)),
-						trace.Str("first", rep.Errors()[0].Code),
-					},
+					Attrs: attrs,
 				})
 			}
 			return cost + s.fail(req, err)
 		}
+		req.report = rep
 		s.setPhase(req, LoadAlloc)
 		return cost
 
@@ -358,7 +370,10 @@ func (s *loaderService) advance(req *LoadRequest, budget uint64) uint64 {
 		if req.mjob.Done() {
 			id, _ := req.mjob.Identity()
 			req.identity = id
-			p.C.RTM.Register(req.tcb, req.im, req.job.Placement(), id)
+			entry := p.C.RTM.Register(req.tcb, req.im, req.job.Placement(), id)
+			if req.report != nil {
+				entry.Bounds = req.report.Bounds
+			}
 			s.setPhase(req, LoadSchedule)
 		}
 		return used

@@ -44,13 +44,13 @@ func ParseSpec(spec string) (Config, error) {
 		case "seed":
 			n, err := strconv.ParseUint(v, 0, 64)
 			if err != nil {
-				return cfg, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+				return cfg, fmt.Errorf("faultinject: bad seed %q: %w", v, err)
 			}
 			cfg.Seed = n
 		case "period":
 			n, err := strconv.ParseUint(v, 0, 64)
 			if err != nil {
-				return cfg, fmt.Errorf("faultinject: bad period %q: %v", v, err)
+				return cfg, fmt.Errorf("faultinject: bad period %q: %w", v, err)
 			}
 			cfg.MeanPeriod = n
 		case "burst":

@@ -182,3 +182,40 @@ func (in Instruction) IsBranch() bool {
 	}
 	return false
 }
+
+// IsCondBranch reports whether the opcode is a flag-conditional branch —
+// the only instructions whose taken/not-taken split depends on data.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the opcode pushes a return address (the two
+// call forms). RET is its inverse; everything else leaves the stack of
+// return addresses alone.
+func (o Op) IsCall() bool { return o == OpCALL || o == OpCALLR }
+
+// Writes reports whether executing the instruction overwrites register
+// r. It models the full architectural effect: Rd-writing ALU/load forms,
+// the SP adjustment of PUSH/POP/CALL/CALLR/RET, and the r0/r1 clobber of
+// SVC (service results land there). Flag effects are not registers and
+// are excluded; static analyses that track a register through code use
+// this to decide where the tracked value dies.
+func (in Instruction) Writes(r Reg) bool {
+	switch in.Op {
+	case OpMOV, OpLDI, OpLUI, OpLDI32, OpLD, OpLDB,
+		OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpADDI, OpMUL,
+		OpRDCYC:
+		return in.Rd == r
+	case OpPOP:
+		return in.Rd == r || r == SP
+	case OpPUSH, OpCALL, OpCALLR, OpRET:
+		return r == SP
+	case OpSVC:
+		return r == R0 || r == R1
+	}
+	return false
+}

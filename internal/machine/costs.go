@@ -33,6 +33,12 @@ var instCost = [64]uint64{
 // branch is taken (pipeline refill).
 const branchTakenExtra = 1
 
+// BranchTakenExtra exports the taken-branch surcharge for the static
+// WCET engine (internal/sverify), which must charge exactly what the
+// interpreter charges: conditional branches pay it when taken, and the
+// unconditional JMP always pays it (the pipeline refills either way).
+const BranchTakenExtra = branchTakenExtra
+
 // InstructionCost returns the cycle cost of executing op (taken-branch
 // surcharge excluded).
 func InstructionCost(op isa.Op) uint64 {
@@ -180,6 +186,15 @@ const (
 	// iterations per 32-bit word of text).
 	CostVerifyBase    = 540
 	CostVerifyPerWord = 24
+
+	// CostBoundsBase/CostBoundsPerWord: the resource-bound admission
+	// pass layered on the verifier — call-graph construction, loop-bound
+	// inference and the longest-path sweeps. Charged on top of the
+	// verify costs only when bounds admission is armed; sized below the
+	// verifier itself (it reuses the already-decoded CFG and converged
+	// abstract states, so the extra work is the graph passes alone).
+	CostBoundsBase    = 380
+	CostBoundsPerWord = 14
 )
 
 // Scheduler / kernel primitives. These keep the kernel's primitives

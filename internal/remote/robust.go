@@ -36,7 +36,7 @@ var (
 func wrapTimeout(err error) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
-		return fmt.Errorf("%w: %v", ErrTimeout, err)
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
 	}
 	return err
 }

@@ -166,6 +166,12 @@ type TCB struct {
 	Activations uint64 // times dispatched
 	CPUCycles   uint64 // cycles executed (ISA) or charged (service)
 
+	// burstAcc accumulates the cycles of the current execution burst
+	// across pre-emptions and budget splits; a trap boundary (SVC, HLT,
+	// fault) closes it with a task-burst trace event. The static
+	// verifier's worst-case burst bound covers exactly this quantity.
+	burstAcc uint64
+
 	// Exit records why the task terminated (nil while alive). Set once
 	// by the kernel's exit paths; see exit.go.
 	Exit *ExitReason

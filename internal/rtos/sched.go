@@ -306,17 +306,22 @@ func (k *Kernel) dispatch(limit uint64) error {
 	}
 	start := k.M.Cycles()
 	res := k.M.Run(budget)
-	t.CPUCycles += k.M.Cycles() - start
+	used := k.M.Cycles() - start
+	t.CPUCycles += used
+	t.burstAcc += used
 
 	switch res.Reason {
 	case machine.StopIRQ:
-		// Leave it current: serviceInterrupt saves it.
+		// Leave it current: serviceInterrupt saves it. The burst is not
+		// over — an interrupt is not a trap boundary; the accumulator
+		// keeps running across the pre-emption.
 		return nil
 	case machine.StopBudget:
 		// Hit the simulation limit mid-run; park it consistently.
 		k.Quiesce()
 		return nil
 	case machine.StopSVC:
+		k.closeBurst(t, "svc")
 		k.M.Charge(machine.CostSyscallEntry)
 		if err := k.handleSyscall(t, res.SVC); err != nil {
 			return err
@@ -326,13 +331,30 @@ func (k *Kernel) dispatch(limit uint64) error {
 		// like the tick path would.
 		return k.preemptIfNeeded()
 	case machine.StopHalt:
+		k.closeBurst(t, "hlt")
 		k.removeTaskWith(t, ExitReason{Cause: ExitHalt, PC: k.M.EIP()})
 		return nil
 	case machine.StopFault:
+		k.closeBurst(t, "fault")
 		k.removeTaskWith(t, faultExitReason(k.M.Cycles(), res.Fault))
 		return nil
 	}
 	return nil
+}
+
+// closeBurst ends the task's current execution burst at a trap boundary
+// and reports the measured cycles. Only SVC, HLT and faults close a
+// burst — interrupts and budget splits merely suspend it — so the
+// emitted cycle count is comparable to the static verifier's worst-case
+// burst bound.
+func (k *Kernel) closeBurst(t *TCB, boundary string) {
+	cycles := t.burstAcc
+	t.burstAcc = 0
+	if k.Obs == nil {
+		return
+	}
+	k.emit(trace.KindTaskBurst, t.Name,
+		trace.Num("cycles", cycles), trace.Str("boundary", boundary))
 }
 
 // preemptIfNeeded parks the current task when a strictly

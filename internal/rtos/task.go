@@ -21,6 +21,13 @@ const contextFrameWords = isa.NumRegs + 2
 // contextFrameBytes is the frame size in bytes.
 const contextFrameBytes = contextFrameWords * 4
 
+// ContextFrameBytes exports the frame size: the resource-bound
+// admission check (loader.Gate) adds it to a task's static stack bound,
+// since a task may be pre-empted at its point of deepest stack use.
+// loader.ContextFrameBytes mirrors it (import cycle); a pinning test
+// keeps the two equal.
+const ContextFrameBytes = contextFrameBytes
+
 // NewServiceTask registers a trusted native service as a schedulable
 // task. Service tasks are secure tasks whose code runs natively; they
 // have no ISA context.

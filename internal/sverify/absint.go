@@ -103,6 +103,11 @@ func (v *verifier) interpret() {
 		v.flow(off, d, st, out, propagate, maxFrames)
 	}
 
+	// Retain the converged states: the call graph resolves indirect
+	// targets and the bound engine reads loop-entry counter values from
+	// them.
+	v.states = states
+
 	// Final pass: emit findings from the converged states.
 	for _, off := range v.order {
 		d := v.reach[off]

@@ -1,0 +1,321 @@
+package sverify
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// This file lifts the per-image CFG into a whole-image interprocedural
+// call graph: functions are the code regions reachable from the task
+// entry point and from every (direct or lattice-resolved indirect) call
+// target, edges are the call sites between them, and recursion is
+// detected as strongly connected components of the function graph. The
+// resource-bound engine (resbound.go) consumes the graph bottom-up:
+// callees are bounded before their callers.
+
+// cgCall is one resolved call edge.
+type cgCall struct {
+	site     uint32 // offset of the CALL/CALLR instruction
+	callee   uint32 // entry offset of the called function
+	indirect bool   // resolved through the value lattice (CALLR)
+}
+
+// cgFunc is one discovered function: the code reachable from an entry
+// offset through intra-procedural edges (fallthrough, branches, resolved
+// indirect jumps, and the return points of calls).
+type cgFunc struct {
+	entry uint32
+	insns map[uint32]decoded  // instruction offsets in the function body
+	order []uint32            // body offsets in discovery order
+	succs map[uint32][]uint32 // intra-procedural successor edges
+	preds map[uint32][]uint32 // reverse edges (loop-bound inference)
+	calls []cgCall            // resolved call sites, in site order
+
+	// unresolvedCalls are CALLR sites whose callee the lattice cannot
+	// name; unresolvedJumps are JR sites with an unknown target. Either
+	// makes every resource bound of the function Unbounded.
+	// resolvedJumps are the JR sites the lattice did name (their CFG
+	// warnings are downgraded once the target is known).
+	unresolvedCalls []uint32
+	unresolvedJumps []uint32
+	resolvedJumps   []uint32
+
+	rets []uint32 // RET sites (frame-balance checkpoints)
+	svcs []uint32 // SVC sites (burst boundaries for the WCET engine)
+}
+
+// callGraph is the whole-image function graph.
+type callGraph struct {
+	funcs map[uint32]*cgFunc
+	order []uint32 // function entries, ascending (deterministic walks)
+
+	// recursive marks functions on a call cycle (self or mutual): the
+	// stack and cycle bounds of such a function are Unbounded unless the
+	// bounded-recursion prover (resbound.go) certifies a decrement.
+	recursive map[uint32]bool
+	// sccSize is the size of each recursive function's component —
+	// mutual recursion (size > 1) is never bounded by the prover.
+	sccSize map[uint32]int
+	// sccID names each multi-function component by its smallest member
+	// entry, so the finding emitter can locate the call edges that close
+	// a mutual-recursion cycle.
+	sccID map[uint32]uint32
+}
+
+// indirectTarget resolves the register-indirect control transfer at off
+// using the converged abstract state: a relocated constant that lands on
+// a canonical instruction boundary inside the code section names the
+// target; anything else — absolute constants, stack values, Top — is
+// opaque. One-sided by construction: a resolved target is the only
+// address the register can hold at that point.
+func (v *verifier) indirectTarget(off uint32, in isa.Instruction) (uint32, bool) {
+	st, ok := v.states[off]
+	if !ok {
+		return 0, false
+	}
+	val := st.regs[in.Rs]
+	if val.K != cfg.Const || !val.Reloc {
+		return 0, false
+	}
+	t := val.V
+	if t >= v.textLen {
+		return 0, false
+	}
+	if d, ok := v.canon[t]; !ok || !d.ok {
+		return 0, false
+	}
+	return t, true
+}
+
+// buildCallGraph discovers every function from the entry point outward
+// and computes the recursion components. It runs after interpret() so
+// indirect calls resolve against converged states.
+func (v *verifier) buildCallGraph() *callGraph {
+	g := &callGraph{
+		funcs:     make(map[uint32]*cgFunc),
+		recursive: make(map[uint32]bool),
+		sccSize:   make(map[uint32]int),
+		sccID:     make(map[uint32]uint32),
+	}
+	if v.textLen == 0 {
+		return g
+	}
+	pending := []uint32{v.im.Entry}
+	for len(pending) > 0 {
+		entry := pending[0]
+		pending = pending[1:]
+		if _, ok := g.funcs[entry]; ok {
+			continue
+		}
+		f := v.walkFunc(entry)
+		g.funcs[entry] = f
+		for _, c := range f.calls {
+			pending = append(pending, c.callee)
+		}
+	}
+	for e := range g.funcs {
+		g.order = append(g.order, e)
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i] < g.order[j] })
+	g.markRecursion()
+	return g
+}
+
+// walkFunc discovers the body of the function entered at entry. It
+// decodes from the canonical stream directly (a function only reachable
+// through a resolved CALLR may be absent from the global traversal) and
+// never emits findings — the bound engine reports through Bounds
+// reasons, the CFG traversal through its own diagnostics.
+func (v *verifier) walkFunc(entry uint32) *cgFunc {
+	f := &cgFunc{
+		entry: entry,
+		insns: make(map[uint32]decoded),
+		succs: make(map[uint32][]uint32),
+		preds: make(map[uint32][]uint32),
+	}
+	work := []uint32{entry}
+	for len(work) > 0 {
+		off := work[0]
+		work = work[1:]
+		if _, seen := f.insns[off]; seen {
+			continue
+		}
+		if off >= v.textLen {
+			continue
+		}
+		d := v.decodeAt(off)
+		if d.size == 0 {
+			d.size = v.textLen - off
+		}
+		f.insns[off] = d
+		f.order = append(f.order, off)
+		if !d.ok {
+			continue // undecodable: execution faults here, path ends
+		}
+		succs := v.funcSuccs(f, off, d)
+		f.succs[off] = succs
+		for _, s := range succs {
+			f.preds[s] = append(f.preds[s], off)
+			work = append(work, s)
+		}
+	}
+	return f
+}
+
+// funcSuccs computes the intra-procedural successors of the instruction
+// at off and records the function's call/ret/svc structure as a side
+// effect. Branch targets outside the code section or on non-canonical
+// boundaries contribute no edge (execution faults there).
+func (v *verifier) funcSuccs(f *cgFunc, off uint32, d decoded) []uint32 {
+	in := d.in
+	next := off + d.size
+	fall := func() []uint32 {
+		if next >= v.textLen {
+			return nil
+		}
+		return []uint32{next}
+	}
+	target := func() (uint32, bool) {
+		t := int64(off) + int64(d.size) + 4*int64(in.Imm)
+		if t < 0 || t >= int64(v.textLen) {
+			return 0, false
+		}
+		return uint32(t), true
+	}
+	switch in.Op {
+	case isa.OpHLT:
+		return nil
+	case isa.OpRET:
+		f.rets = append(f.rets, off)
+		return nil
+	case isa.OpJMP:
+		if t, ok := target(); ok {
+			return []uint32{t}
+		}
+		return nil
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		out := fall()
+		if t, ok := target(); ok {
+			out = append(out, t)
+		}
+		return out
+	case isa.OpCALL:
+		if t, ok := target(); ok {
+			f.calls = append(f.calls, cgCall{site: off, callee: t})
+		}
+		return fall()
+	case isa.OpCALLR:
+		if t, ok := v.indirectTarget(off, in); ok {
+			f.calls = append(f.calls, cgCall{site: off, callee: t, indirect: true})
+		} else {
+			f.unresolvedCalls = append(f.unresolvedCalls, off)
+		}
+		return fall()
+	case isa.OpJR:
+		if t, ok := v.indirectTarget(off, in); ok {
+			f.resolvedJumps = append(f.resolvedJumps, off)
+			return []uint32{t}
+		}
+		f.unresolvedJumps = append(f.unresolvedJumps, off)
+		return nil
+	case isa.OpSVC:
+		f.svcs = append(f.svcs, off)
+		return fall()
+	default:
+		return fall()
+	}
+}
+
+// markRecursion runs an iterative Tarjan SCC over the function graph
+// and marks every function on a call cycle.
+func (g *callGraph) markRecursion() {
+	index := make(map[uint32]int)
+	low := make(map[uint32]int)
+	onStack := make(map[uint32]bool)
+	var stack []uint32
+	next := 0
+
+	type frame struct {
+		fn   uint32
+		edge int
+	}
+	for _, root := range g.order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var frames []frame
+		push := func(fn uint32) {
+			index[fn] = next
+			low[fn] = next
+			next++
+			stack = append(stack, fn)
+			onStack[fn] = true
+			frames = append(frames, frame{fn: fn})
+		}
+		push(root)
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			calls := g.funcs[fr.fn].calls
+			if fr.edge < len(calls) {
+				callee := calls[fr.edge].callee
+				fr.edge++
+				if _, seen := index[callee]; !seen {
+					push(callee)
+				} else if onStack[callee] {
+					if index[callee] < low[fr.fn] {
+						low[fr.fn] = index[callee]
+					}
+				}
+				continue
+			}
+			// Frame done: pop, fold lowlink into the parent.
+			fn := fr.fn
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[fn] < low[parent.fn] {
+					low[parent.fn] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				// fn is an SCC root: pop the component.
+				var comp []uint32
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == fn {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					id := comp[0]
+					for _, m := range comp {
+						if m < id {
+							id = m
+						}
+					}
+					for _, m := range comp {
+						g.recursive[m] = true
+						g.sccSize[m] = len(comp)
+						g.sccID[m] = id
+					}
+				}
+			}
+		}
+	}
+	// Self-recursion is a cycle Tarjan's component size misses.
+	for _, e := range g.order {
+		for _, c := range g.funcs[e].calls {
+			if c.callee == e {
+				g.recursive[e] = true
+				if g.sccSize[e] == 0 {
+					g.sccSize[e] = 1
+				}
+			}
+		}
+	}
+}

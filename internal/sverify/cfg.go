@@ -48,6 +48,12 @@ type verifier struct {
 
 	findings   map[findingKey]Finding
 	guaranteed map[findingKey]bool // fault certain if the insn executes
+
+	// states holds the converged abstract pre-state of every reachable
+	// instruction once interpret() has run; the call-graph and resource-
+	// bound engines resolve indirect targets and loop-entry counter
+	// values against it.
+	states map[uint32]astate
 }
 
 // align4 rounds up to a word boundary (mirrors loader.align4).
@@ -364,10 +370,14 @@ func (v *verifier) countBlocks() int { return len(v.leaders()) }
 
 // mustPath computes the set of offsets certain to execute when the task
 // is entered at its entry point: the straight-line prefix through
-// fallthrough edges, unconditional JMPs and kernel services that return
-// to the caller (yield, delay, putchar, gettime). Conditional branches,
-// calls, indirect jumps and blocking/terminating services end the
-// prefix — beyond them execution is input-dependent.
+// fallthrough edges, unconditional JMPs, direct CALLs (followed into
+// the callee — the callee entry executes whenever the call does; the
+// prefix never models the return) and kernel services that return to
+// the caller (yield, delay, putchar, gettime). Conditional branches,
+// indirect jumps and blocking/terminating services end the prefix —
+// beyond them execution is input-dependent. Revisiting an offset ends
+// the prefix too, which is how an unguarded recursion cycle terminates
+// the walk (after proving every instruction on the cycle must-execute).
 func (v *verifier) mustPath() map[uint32]bool {
 	must := make(map[uint32]bool)
 	if v.textLen == 0 {
@@ -385,7 +395,7 @@ func (v *verifier) mustPath() map[uint32]bool {
 		}
 		in := d.in
 		switch in.Op {
-		case isa.OpJMP:
+		case isa.OpJMP, isa.OpCALL:
 			t := int64(off) + int64(d.size) + 4*int64(in.Imm)
 			if t < 0 || t >= int64(v.textLen) {
 				return must
@@ -398,7 +408,7 @@ func (v *verifier) mustPath() map[uint32]bool {
 			default:
 				return must
 			}
-		case isa.OpHLT, isa.OpRET, isa.OpJR, isa.OpCALLR, isa.OpCALL,
+		case isa.OpHLT, isa.OpRET, isa.OpJR, isa.OpCALLR,
 			isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
 			return must
 		default:

@@ -161,6 +161,7 @@ func TestDefiniteErrorImagesFault(t *testing.T) {
 	classes := []sverify.GenClass{
 		sverify.GenInvalidOpcode, sverify.GenBadSyscall,
 		sverify.GenWildStore, sverify.GenMisaligned, sverify.GenBranchMidInsn,
+		sverify.GenRecursionInfinite,
 	}
 	for _, class := range classes {
 		for seed := uint64(0); seed < 4; seed++ {

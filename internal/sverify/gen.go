@@ -40,6 +40,29 @@ const (
 	// payload is not a valid instruction (illegal-instruction fault).
 	GenBranchMidInsn
 
+	// GenCountedLoop spins a counted loop (seeded count and direction)
+	// and calls a small balanced helper. Verifies clean with a proven
+	// stack and cycle bound; runs clean.
+	GenCountedLoop
+	// GenRecursionBounded recurses with a counter decrement and a CMPI
+	// guard the bounded-recursion prover certifies. Runs clean.
+	GenRecursionBounded
+	// GenRecursionInfinite recurses with no guard on the must-execute
+	// path: a Definite recursion error, and the stack provably overruns
+	// its reservation at runtime.
+	GenRecursionInfinite
+	// GenIndirectCall calls through a register holding a relocated
+	// function address the value lattice resolves. Bounded; runs clean.
+	GenIndirectCall
+	// GenIndirectCallOpaque launders the function address through
+	// memory, so the call target is dynamically fine but statically
+	// opaque: the image runs clean yet its bounds are Unbounded.
+	GenIndirectCallOpaque
+	// GenSPManip saves and restores SP through a scratch register: the
+	// restore is a computed stack pointer, so the stack bound is
+	// Unbounded even though the image runs clean.
+	GenSPManip
+
 	// NumGenClasses counts the classes (for corpus loops).
 	NumGenClasses
 )
@@ -59,6 +82,18 @@ func (c GenClass) String() string {
 		return "misaligned"
 	case GenBranchMidInsn:
 		return "branch-mid-insn"
+	case GenCountedLoop:
+		return "counted-loop"
+	case GenRecursionBounded:
+		return "recursion-bounded"
+	case GenRecursionInfinite:
+		return "recursion-infinite"
+	case GenIndirectCall:
+		return "indirect-call"
+	case GenIndirectCallOpaque:
+		return "indirect-call-opaque"
+	case GenSPManip:
+		return "sp-manip"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -118,6 +153,26 @@ func (b *genBuilder) jmpTo(target uint32) {
 	b.emit(isa.Instruction{Op: isa.OpJMP, Imm: int16(delta)})
 }
 
+// branchTo emits a conditional branch (or CALL) to an already-emitted
+// offset.
+func (b *genBuilder) branchTo(op isa.Op, target uint32) {
+	delta := (int64(target) - int64(b.off()+4)) / 4
+	b.emit(isa.Instruction{Op: op, Imm: int16(delta)})
+}
+
+// epilogue ends the image the way GenClean always has: halt, or a
+// periodic delay loop (bounded bursts — every burst ends at the SVC).
+func (b *genBuilder) epilogue(r *genRand) {
+	if r.intn(2) == 0 {
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+	} else {
+		loop := b.off()
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: int16(16000 + r.intn(16000))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 2}) // delay
+		b.jmpTo(loop)
+	}
+}
+
 const (
 	genDataSize  = 16
 	genBSSSize   = 64
@@ -158,14 +213,7 @@ func GenImage(class GenClass, seed uint64) *telf.Image {
 		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R3, Imm: 1})
 		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('A' + r.intn(26))})
 		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
-		if r.intn(2) == 0 {
-			b.emit(isa.Instruction{Op: isa.OpHLT})
-		} else {
-			loop := b.off()
-			b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R0, Imm: int16(16000 + r.intn(16000))})
-			b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 2}) // delay
-			b.jmpTo(loop)
-		}
+		b.epilogue(&r)
 
 	case GenInvalidOpcode:
 		b.raw(0xFF000000 | uint32(r.next()&0xFFFF)) // op 0xFF: undecodable
@@ -192,6 +240,107 @@ func GenImage(class GenClass, seed uint64) *telf.Image {
 		b.emit(isa.Instruction{Op: isa.OpJMP, Imm: 1}) // into the LDI32 immediate
 		b.emit(isa.Instruction{Op: isa.OpLDI32, Rd: isa.R1, Imm32: 0xFFFFFFFF})
 		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenCountedLoop:
+		// A counted spin loop (seeded count and direction) and a call to
+		// a balanced helper: the canonical shapes the resource-bound
+		// engine certifies.
+		count := int16(20 + r.intn(200))
+		if r.intn(2) == 0 { // count down to zero
+			b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R2, Imm: count})
+			spin := b.off()
+			b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R2, Imm: -1})
+			b.emit(isa.Instruction{Op: isa.OpCMPI, Rd: isa.R2, Imm: 0})
+			b.branchTo(isa.OpBNE, spin)
+		} else { // count up to the limit
+			b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R2, Imm: 0})
+			spin := b.off()
+			b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R2, Imm: 1})
+			b.emit(isa.Instruction{Op: isa.OpCMPI, Rd: isa.R2, Imm: count})
+			b.branchTo(isa.OpBLT, spin)
+		}
+		b.emit(isa.Instruction{Op: isa.OpCALL, Imm: 1}) // over the jmp, into the helper
+		b.emit(isa.Instruction{Op: isa.OpJMP, Imm: 4})  // over the 4-instruction helper
+		b.emit(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R1, Imm: 3})
+		b.emit(isa.Instruction{Op: isa.OpPOP, Rd: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpRET})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('a' + r.intn(26))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		b.epilogue(&r)
+
+	case GenRecursionBounded:
+		// f(n): if n != 0 { n--; f(n) } — a decrement and a CMPI guard
+		// the bounded-recursion prover certifies from the counter's
+		// constant at the external call site.
+		depth := int16(3 + r.intn(6))
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R2, Imm: depth})
+		b.emit(isa.Instruction{Op: isa.OpCALL, Imm: 1}) // over the jmp, into f
+		b.emit(isa.Instruction{Op: isa.OpJMP, Imm: 5})  // over the 5-instruction f
+		b.emit(isa.Instruction{Op: isa.OpCMPI, Rd: isa.R2, Imm: 0}) // f:
+		b.emit(isa.Instruction{Op: isa.OpBEQ, Imm: 2})              // done: skip to ret
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R2, Imm: -1})
+		b.emit(isa.Instruction{Op: isa.OpCALL, Imm: -4}) // f, recursively
+		b.emit(isa.Instruction{Op: isa.OpRET})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('r' - r.intn(10))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		b.epilogue(&r)
+
+	case GenRecursionInfinite:
+		// f: f() — unguarded self-recursion on the must-execute path;
+		// the return-address pushes march SP out of the task's region.
+		b.emit(isa.Instruction{Op: isa.OpCALL, Imm: 1}) // over the jmp, into f
+		b.emit(isa.Instruction{Op: isa.OpJMP, Imm: 3})  // over the 3-instruction f
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R1, Imm: 1}) // f:
+		b.emit(isa.Instruction{Op: isa.OpCALL, Imm: -2})            // f, unconditionally
+		b.emit(isa.Instruction{Op: isa.OpRET})
+		b.emit(isa.Instruction{Op: isa.OpHLT})
+
+	case GenIndirectCall:
+		// CALLR through a relocated function address held in a register:
+		// the value lattice names the target, so the call graph (and the
+		// bounds) cover the helper.
+		var helperOff uint32
+		b.emitPtr(isa.R4, func(uint32) uint32 { return helperOff })
+		b.emit(isa.Instruction{Op: isa.OpCALLR, Rs: isa.R4})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('A' + r.intn(26))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		b.epilogue(&r)
+		helperOff = b.off()
+		b.emit(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.R1, Imm: 7})
+		b.emit(isa.Instruction{Op: isa.OpPOP, Rd: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpRET})
+
+	case GenIndirectCallOpaque:
+		// The same call, but the address is laundered through a BSS
+		// slot: dynamically identical, statically opaque — the bounds
+		// must degrade to Unbounded, never to a wrong number.
+		var helperOff uint32
+		slot := uint32(4 * r.intn(genBSSSize/4))
+		b.emitPtr(isa.R4, func(uint32) uint32 { return helperOff })
+		b.emitPtr(isa.R5, func(t uint32) uint32 { return t + genDataSize + slot })
+		b.emit(isa.Instruction{Op: isa.OpST, Rd: isa.R5, Rs: isa.R4})
+		b.emit(isa.Instruction{Op: isa.OpLD, Rd: isa.R6, Rs: isa.R5})
+		b.emit(isa.Instruction{Op: isa.OpCALLR, Rs: isa.R6})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('A' + r.intn(26))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		b.epilogue(&r)
+		helperOff = b.off()
+		b.emit(isa.Instruction{Op: isa.OpPUSH, Rs: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpPOP, Rd: isa.R1})
+		b.emit(isa.Instruction{Op: isa.OpRET})
+
+	case GenSPManip:
+		// Save SP to a scratch register, adjust, restore: the restore is
+		// a computed stack pointer — dynamically exact, statically
+		// unanalyzable, so the stack bound must degrade to Unbounded.
+		b.emit(isa.Instruction{Op: isa.OpMOV, Rd: isa.R6, Rs: isa.SP})
+		b.emit(isa.Instruction{Op: isa.OpADDI, Rd: isa.SP, Imm: int16(-8 * (1 + r.intn(3)))})
+		b.emit(isa.Instruction{Op: isa.OpMOV, Rd: isa.SP, Rs: isa.R6})
+		b.emit(isa.Instruction{Op: isa.OpLDI, Rd: isa.R1, Imm: int16('A' + r.intn(26))})
+		b.emit(isa.Instruction{Op: isa.OpSVC, Imm: 5}) // putchar
+		b.epilogue(&r)
 	}
 
 	textLen := b.off()

@@ -19,6 +19,23 @@ func (r *Report) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	if b := r.Bounds; b != nil {
+		stack, cycles := "unbounded", "unbounded"
+		if b.StackBounded {
+			stack = fmt.Sprintf("%d bytes", b.StackBytes)
+		}
+		if b.CyclesBounded {
+			cycles = fmt.Sprintf("%d cycles", b.Cycles)
+		}
+		if _, err := fmt.Fprintf(w, "  bounds: stack %s, burst %s (%s)\n", stack, cycles, b.Verdict); err != nil {
+			return err
+		}
+		for _, reason := range b.Reasons {
+			if _, err := fmt.Fprintf(w, "    unbounded: %s\n", reason); err != nil {
+				return err
+			}
+		}
+	}
 	info, warn, errs := r.Counts()
 	verdict := "clean"
 	if errs > 0 {

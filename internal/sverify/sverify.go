@@ -135,6 +135,10 @@ type Report struct {
 	Blocks int `json:"blocks"`
 	// Findings are the diagnostics, sorted by (offset, code).
 	Findings []Finding `json:"findings"`
+	// Bounds is the static resource-bound section: worst-case stack
+	// depth and worst-case burst cycles, or an explicit Unbounded
+	// verdict with reasons (see resbound.go).
+	Bounds *Bounds `json:"bounds"`
 }
 
 // Errors returns the Error-severity findings.
@@ -201,9 +205,11 @@ func Verify(im *telf.Image, cfg Config) *Report {
 	v.checkRelocs()
 	v.traverse()
 	v.interpret()
+	bounds := v.computeBounds()
 	v.markDefinite()
 
 	rep := &Report{
+		Bounds: bounds,
 		Name:     im.Name,
 		TextSize: uint32(len(im.Text)),
 		DataSize: uint32(len(im.Data)),

@@ -92,7 +92,7 @@ func eventCycle(ce chromeEvent) (uint64, error) {
 	if ce.Args.Cycle != "" {
 		n, err := strconv.ParseUint(ce.Args.Cycle, 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("bad cycle arg %q: %v", ce.Args.Cycle, err)
+			return 0, fmt.Errorf("bad cycle arg %q: %w", ce.Args.Cycle, err)
 		}
 		return n, nil
 	}
@@ -138,7 +138,7 @@ func parseAttrs(i int, raws [][3]string) ([]Attr, error) {
 		case "n":
 			n, err := strconv.ParseUint(raw[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %v", i, raw[2], err)
+				return nil, fmt.Errorf("chrome trace: event %d: bad numeric attr %q: %w", i, raw[2], err)
 			}
 			attrs = append(attrs, Num(raw[0], n))
 		case "s":
@@ -155,18 +155,18 @@ func parseAttrs(i int, raws [][3]string) ([]Attr, error) {
 func parseInstant(i int, ce chromeEvent) (Event, error) {
 	kind, err := ParseKind(ce.Name)
 	if err != nil {
-		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		return Event{}, fmt.Errorf("chrome trace: event %d: %w", i, err)
 	}
 	sub, err := ParseSubsystem(ce.Args.Sub)
 	if err != nil {
-		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		return Event{}, fmt.Errorf("chrome trace: event %d: %w", i, err)
 	}
 	if want := int(sub) + 1; ce.TID != want {
 		return Event{}, fmt.Errorf("chrome trace: event %d: tid %d does not match subsystem %s", i, ce.TID, sub)
 	}
 	cycle, err := eventCycle(ce)
 	if err != nil {
-		return Event{}, fmt.Errorf("chrome trace: event %d: %v", i, err)
+		return Event{}, fmt.Errorf("chrome trace: event %d: %w", i, err)
 	}
 	e := Event{Cycle: cycle, Sub: sub, Kind: kind, Subject: ce.Args.Subject}
 	if e.Attrs, err = parseAttrs(i, ce.Args.Attrs); err != nil {

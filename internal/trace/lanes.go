@@ -144,7 +144,7 @@ func ReadChromeTraceLanes(r io.Reader) ([]Lane, error) {
 			s := ChromeSpan{Name: ce.Name, Subject: ce.Args.Subject}
 			start, err := eventCycle(ce)
 			if err != nil {
-				return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+				return nil, fmt.Errorf("chrome trace: event %d: %w", i, err)
 			}
 			s.Start = start
 			durStr := ce.Args.Dur
@@ -152,7 +152,7 @@ func ReadChromeTraceLanes(r io.Reader) ([]Lane, error) {
 				durStr = ce.Dur.String()
 			}
 			if s.Dur, err = strconv.ParseUint(durStr, 10, 64); err != nil {
-				return nil, fmt.Errorf("chrome trace: event %d: bad dur %q: %v", i, durStr, err)
+				return nil, fmt.Errorf("chrome trace: event %d: bad dur %q: %w", i, durStr, err)
 			}
 			if s.Attrs, err = parseAttrs(i, ce.Args.Attrs); err != nil {
 				return nil, err

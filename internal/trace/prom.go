@@ -132,7 +132,7 @@ func ScrapePrometheus(rd io.Reader) (*Scrape, error) {
 		name, valStr := line[:sp], line[sp+1:]
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			return nil, fmt.Errorf("prometheus line %d: bad value %q: %v", lineNo, valStr, err)
+			return nil, fmt.Errorf("prometheus line %d: bad value %q: %w", lineNo, valStr, err)
 		}
 		family := name
 		if i := strings.IndexByte(family, '{'); i >= 0 {

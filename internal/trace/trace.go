@@ -118,6 +118,12 @@ const (
 	// two time domains correlate on (device, session).
 	KindSession
 
+	// KindTaskBurst records one completed machine run segment of an ISA
+	// task (SubSched): the cycles consumed between dispatch and the next
+	// trap. The analyzer cross-checks these measured bursts against the
+	// task's static worst-case burst bound.
+	KindTaskBurst
+
 	numKinds
 )
 
@@ -127,7 +133,7 @@ var kindNames = [numKinds]string{
 	"attest", "activation", "inject", "custom", "ipc",
 	"deadline-miss", "slo-violation", "verify-denied",
 	"update-accepted", "update-denied", "update-rolled-back",
-	"fleet", "session",
+	"fleet", "session", "task-burst",
 }
 
 // String names the kind.

@@ -181,7 +181,7 @@ func readPlatformKey(m *machine.Machine, ctxBase uint32) ([]byte, error) {
 		}
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrKeyDenied, err)
+		return nil, fmt.Errorf("%w: %w", ErrKeyDenied, err)
 	}
 	m.Charge(machine.KeySize / 4 * 4) // MMIO reads
 	return key, nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/rtos"
 	"repro/internal/sha1"
+	"repro/internal/sverify"
 	"repro/internal/telf"
 )
 
@@ -42,6 +43,11 @@ type RegistryEntry struct {
 	TruncID   uint64
 	Placement loader.Placement
 	Image     *telf.Image
+
+	// Bounds carries the task's certified static resource bounds when
+	// the verification gate ran at load time (nil otherwise). The
+	// analyzer cross-checks measured bursts against it.
+	Bounds *sverify.Bounds
 }
 
 // NewRTM creates the RTM.

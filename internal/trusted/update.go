@@ -208,7 +208,7 @@ func (u *Updater) rollBack(task string, phase UpdatePhase, version uint64, cause
 	u.counts.RolledBack++
 	u.emit(trace.KindUpdateRolledBack, task,
 		trace.Str("phase", phase.String()), trace.Num("version", version))
-	return fmt.Errorf("%w (phase %s): %v", ErrUpdateAborted, phase, cause)
+	return fmt.Errorf("%w (phase %s): %w", ErrUpdateAborted, phase, cause)
 }
 
 // enter runs the fault hook for a phase.
@@ -248,11 +248,11 @@ func (u *Updater) Apply(id rtos.TaskID, pkg []byte, nonce uint64) (*UpdateReport
 	m.Charge(machine.CostUpdateVerifyBase + blocks*machine.CostUpdateVerifyPerBlock)
 	signed, err := telf.DecodeSigned(pkg)
 	if err != nil {
-		return nil, u.deny(name, DenyCorrupt, 0, fmt.Errorf("%w: %v", ErrUpdateCorrupt, err))
+		return nil, u.deny(name, DenyCorrupt, 0, fmt.Errorf("%w: %w", ErrUpdateCorrupt, err))
 	}
 	version := signed.Manifest.TaskVersion
 	if err := signed.Verify(u.ku); err != nil {
-		return nil, u.deny(name, DenyBadSig, version, fmt.Errorf("%w: %v", ErrUpdateBadSignature, err))
+		return nil, u.deny(name, DenyBadSig, version, fmt.Errorf("%w: %w", ErrUpdateBadSignature, err))
 	}
 	im := signed.Image
 	if im.Name != name {
@@ -262,7 +262,7 @@ func (u *Updater) Apply(id rtos.TaskID, pkg []byte, nonce uint64) (*UpdateReport
 	if u.c.Gate != nil {
 		m.Charge(u.c.Gate.Cost(im))
 		if _, err := u.c.Gate.Check(im); err != nil {
-			return nil, u.deny(name, DenyCorrupt, version, fmt.Errorf("%w: %v", ErrUpdateCorrupt, err))
+			return nil, u.deny(name, DenyCorrupt, version, fmt.Errorf("%w: %w", ErrUpdateCorrupt, err))
 		}
 	}
 	newID := IdentityOfImage(im)
@@ -290,7 +290,7 @@ func (u *Updater) Apply(id rtos.TaskID, pkg []byte, nonce uint64) (*UpdateReport
 		// Tampered blob or identity mismatch: fail closed. Accepting
 		// here would turn storage tampering into a downgrade vector.
 		return nil, u.deny(name, DenyCounterTamper, version,
-			fmt.Errorf("%w: %v", ErrUpdateCounterTampered, err))
+			fmt.Errorf("%w: %w", ErrUpdateCounterTampered, err))
 	}
 	if version <= current {
 		return nil, u.deny(name, DenyDowngrade, version,

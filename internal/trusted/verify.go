@@ -34,8 +34,24 @@ func AllowedSyscalls() map[uint16]bool {
 // to measure-and-install images with Error findings. ramSize is the
 // platform's RAM size (for the beyond-RAM access checks).
 func (c *Components) EnableVerifyGate(ramSize uint32) {
+	if c.Gate != nil {
+		return // idempotent: keep an already-armed gate (and its policy)
+	}
 	c.Gate = &loader.Gate{Cfg: sverify.Config{
 		RAMSize:  ramSize,
 		Syscalls: AllowedSyscalls(),
 	}}
+}
+
+// EnableBoundsAdmission arms the resource-bound admission check on top
+// of the strict gate: images whose certified worst-case stack depth
+// (plus the pre-emption context frame) does not fit their stack
+// reservation — or whose worst-case burst exceeds a cycle budget
+// declared for them in budgets — are refused before any memory is
+// allocated. budgets maps image names to per-activation cycle budgets;
+// nil declares no cycle constraints (the stack check still applies).
+// The gate must already be armed (EnableVerifyGate).
+func (c *Components) EnableBoundsAdmission(budgets map[string]uint64) {
+	c.Gate.Bounds = true
+	c.Gate.Budgets = budgets
 }
